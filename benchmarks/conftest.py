@@ -1,0 +1,29 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one paper artifact (figure scenario or
+Section-5 claim).  Each one both *prints* its reproduced table and writes
+it under ``benchmarks/results/`` so the evidence survives the run; the
+pytest-benchmark timings measure the cost of regenerating the artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_table():
+    """Print a table and persist it to benchmarks/results/<name>.txt."""
+
+    def _save(name: str, rendered: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(rendered + "\n")
+        print()
+        print(rendered)
+
+    return _save

@@ -1,0 +1,22 @@
+"""AN10 (extension) — where mobility shows up in request latency."""
+
+from __future__ import annotations
+
+from repro.experiments.an10_latency import run_an10
+
+
+def test_bench_an10_latency(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: run_an10(residences=[0.3, 1.0, 3.0, 10.0],
+                         n_hosts=3, requests_per_host=15),
+        rounds=1, iterations=1)
+    rows = table.rows
+    # Same completeness at every mobility rate.
+    assert len({row[1] for row in rows}) == 1
+    # Service time is mobility-independent...
+    services = [row[3] for row in rows]
+    assert max(services) - min(services) < 0.05
+    # ...while the delivery segment grows as residence shrinks.
+    deliveries = [row[4] for row in rows]
+    assert deliveries[0] > deliveries[-1]
+    save_table("an10_latency", table.render())

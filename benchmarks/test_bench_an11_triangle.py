@@ -1,0 +1,16 @@
+"""AN11 (extension) — triangle-routing latency of a static rendezvous."""
+
+from __future__ import annotations
+
+from repro.experiments.an11_triangle import run_an11
+
+
+def test_bench_an11_triangle_routing(benchmark, save_table):
+    table = benchmark.pedantic(run_an11, rounds=1, iterations=1)
+    rows = table.rows
+    # At home the placements tie; far away the home detour dominates.
+    assert rows[0][3] == 1
+    home_latencies = [row[1] for row in rows]
+    assert home_latencies == sorted(home_latencies)  # grows with distance
+    assert rows[-1][3] > 2                            # at 10 hops, >2x worse
+    save_table("an11_triangle_routing", table.render())

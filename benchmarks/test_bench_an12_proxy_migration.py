@@ -1,0 +1,19 @@
+"""AN12 (extension) — proxy migration for long-lived subscriptions."""
+
+from __future__ import annotations
+
+from repro.experiments.an12_proxy_migration import run_an12
+
+
+def test_bench_an12_proxy_migration(benchmark, save_table):
+    table = benchmark.pedantic(run_an12, rounds=1, iterations=1)
+    rows = table.rows
+    pinned = [row[1] for row in rows]
+    moving = [row[2] for row in rows]
+    # A pinned proxy's notification latency grows with distance...
+    assert pinned == sorted(pinned)
+    assert pinned[-1] > pinned[0] * 1.5
+    # ...while the migrating proxy keeps it bounded.
+    assert max(moving) < pinned[-1]
+    assert rows[-1][3] > 1.5  # pinned/migrating ratio at the far end
+    save_table("an12_proxy_migration", table.render())

@@ -1,0 +1,18 @@
+"""AN13 (exploration) — delivery under MSS crash/restart."""
+
+from __future__ import annotations
+
+from repro.experiments.an13_mss_failures import run_an13
+
+
+def test_bench_an13_mss_failures(benchmark, save_table):
+    table = benchmark.pedantic(run_an13, rounds=1, iterations=1)
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # No crashes: full delivery regardless of retries.
+    assert rows[("never", "off")][5] == 1
+    # With crashes, retries recover what the crash destroyed.
+    assert rows[(20.0, "on")][5] > rows[(20.0, "off")][5]
+    assert rows[(20.0, "on")][5] > 0.95
+    # Without retries, crashed proxies cost deliveries.
+    assert rows[(20.0, "off")][5] < 1
+    save_table("an13_mss_failures", table.render())

@@ -1,0 +1,15 @@
+"""AN1 — delivery reliability: RDP vs I-TCP-style vs best-effort."""
+
+from __future__ import annotations
+
+from repro.experiments.an1_reliability import run_an1
+
+
+def test_bench_an1_reliability(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: run_an1(duration=240.0, n_hosts=6), rounds=1, iterations=1)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["rdp"][3] == 1        # ratio column: full delivery
+    assert rows["itcp"][3] == 1
+    assert rows["direct"][3] < 1      # best-effort loses results
+    save_table("an1_reliability", table.render())

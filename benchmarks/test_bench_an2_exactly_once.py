@@ -1,0 +1,16 @@
+"""AN2 — exactly-once semantics and the ack-then-migrate race."""
+
+from __future__ import annotations
+
+from repro.experiments.an2_exactly_once import run_an2
+
+
+def test_bench_an2_exactly_once(benchmark, save_table):
+    table = benchmark.pedantic(run_an2, rounds=1, iterations=1)
+    # Application-level deliveries are exactly-once at every offset.
+    assert all(row[2] == 1 for row in table.rows)
+    # Both regimes occur: at-least-once for early migrations (dropped
+    # Ack), exactly-once transmission once the Ack gets out.
+    verdicts = [row[5] for row in table.rows]
+    assert "no" in verdicts and "yes" in verdicts
+    save_table("an2_exactly_once", table.render())

@@ -1,0 +1,18 @@
+"""AN3 — the retransmission threshold t_wired + t_wireless."""
+
+from __future__ import annotations
+
+from repro.experiments.an3_retransmission import run_an3
+
+
+def test_bench_an3_retransmission_threshold(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: run_an3(n_hosts=3, requests_per_host=12),
+        rounds=1, iterations=1)
+    rates = [row[4] for row in table.rows]  # rate column, residence ascending
+    # The paper's knee: heavy retransmission below the threshold,
+    # (near-)none well above it.
+    assert rates[0] > 5.0
+    assert rates[-1] < 0.2
+    assert rates[0] > rates[-1] * 20
+    save_table("an3_retransmission_threshold", table.render())

@@ -1,0 +1,21 @@
+"""AN4 — the Section 5 overhead bound, checked to the message."""
+
+from __future__ import annotations
+
+from repro.experiments.an4_overhead import run_an4, run_overhead
+
+
+def test_bench_an4_overhead(benchmark, save_table):
+    table = benchmark.pedantic(run_an4, rounds=3, iterations=1)
+    assert all(row[3] != "NO" for row in table.rows)
+    save_table("an4_overhead", table.render())
+
+
+def test_bench_an4_overhead_scaling(benchmark):
+    """The bound holds at a larger scale too."""
+    result = benchmark.pedantic(
+        lambda: run_overhead(n_migrations=20, n_reactivations=10,
+                             n_requests=15),
+        rounds=1, iterations=1)
+    assert result.update_bound_holds
+    assert result.ack_bound_holds

@@ -1,0 +1,24 @@
+"""AN5 — load distribution: dynamic proxies vs static home agents."""
+
+from __future__ import annotations
+
+from repro.experiments.an5_load_balance import run_an5, run_policy
+
+
+def test_bench_an5_load_balance(benchmark, save_table):
+    table = benchmark.pedantic(
+        lambda: run_an5(duration=240.0, n_hosts=20), rounds=1, iterations=1)
+    fairness = {row[0]: row[2] for row in table.rows}
+    assert fairness["current"] > fairness["home"]
+    assert fairness["least_loaded"] >= fairness["current"]
+    save_table("an5_load_balance", table.render())
+
+
+def test_bench_an5_hotspot_share(benchmark):
+    """The home MSS carries several times its fair share under the
+    Mobile-IP-style policy."""
+    result = benchmark.pedantic(
+        lambda: run_policy("home", n_hosts=16, grid=4, duration=180.0),
+        rounds=1, iterations=1)
+    fair_share = 1.0 / 16
+    assert result.hottest_share > 3 * fair_share

@@ -1,0 +1,19 @@
+"""AN6 — what the causal-order assumption buys (ablation)."""
+
+from __future__ import annotations
+
+from repro.experiments.an6_causal_ablation import run_an6
+
+
+def test_bench_an6_causal_ablation(benchmark, save_table):
+    table = benchmark.pedantic(lambda: run_an6(seeds=6),
+                               rounds=1, iterations=1)
+    rows = {row[0]: row for row in table.rows}
+    # Exactly-once at the application regardless of ordering.
+    assert all(row[5] == 0 for row in table.rows)
+    # Everything still delivered (at-least-once is ordering-independent).
+    assert all(row[1] == row[2] for row in table.rows)
+    # Weakened ordering costs duplicate transmissions.
+    assert rows["causal"][4] <= rows["fifo"][4]
+    assert rows["causal"][4] < rows["raw"][4]
+    save_table("an6_causal_ablation", table.render())

@@ -1,0 +1,15 @@
+"""AN7 — hand-off state transfer: pref-only vs full I-TCP image."""
+
+from __future__ import annotations
+
+from repro.experiments.an7_handoff_cost import run_an7
+
+
+def test_bench_an7_handoff_cost(benchmark, save_table):
+    table = benchmark.pedantic(run_an7, rounds=1, iterations=1)
+    rows = {row[0]: row for row in table.rows}
+    assert rows["rdp"][4] == 0                      # zero residue
+    assert rows["itcp"][4] > 0                      # forwarding pointers
+    assert rows["itcp"][3] > 10 * rows["rdp"][3]    # bytes per hand-off
+    assert rows["rdp"][5] == rows["itcp"][5]        # same deliveries
+    save_table("an7_handoff_cost", table.render())

@@ -1,0 +1,19 @@
+"""AN8 — the Section 3.1 Ack-priority rule, ablated."""
+
+from __future__ import annotations
+
+from repro.experiments.an8_ack_priority import run_an8
+
+
+def test_bench_an8_ack_priority(benchmark, save_table):
+    table = benchmark.pedantic(lambda: run_an8(seeds=4),
+                               rounds=1, iterations=1)
+    rows = {row[0]: row for row in table.rows}
+    # Same delivery completeness either way...
+    assert rows["on"][2] == rows["on"][1]
+    assert rows["off"][2] == rows["off"][1]
+    # ...but without the priority, more Acks die behind hand-off
+    # processing and more already-acknowledged results get re-sent.
+    assert rows["on"][5] < rows["off"][5]      # acks ignored
+    assert rows["on"][4] < rows["off"][4]      # duplicate transmissions
+    save_table("an8_ack_priority", table.render())

@@ -1,0 +1,20 @@
+"""AN9 — footnote-3 retention: save the proxy's retransmissions."""
+
+from __future__ import annotations
+
+from repro.experiments.an9_retention import run_an9
+
+
+def test_bench_an9_retention(benchmark, save_table):
+    table = benchmark.pedantic(lambda: run_an9(seeds=3),
+                               rounds=1, iterations=1)
+    rows = {row[0]: row for row in table.rows}
+    # Identical workload and full delivery either way.
+    assert rows["on"][1] == rows["off"][1]
+    assert rows["on"][2] == rows["on"][1]
+    assert rows["off"][2] == rows["off"][1]
+    # Retention eliminates (nearly all of) the proxy's retransmissions.
+    assert rows["on"][3] < rows["off"][3] / 5
+    assert rows["on"][4] > 0                    # something was retained
+    assert rows["on"][5] >= rows["on"][4] * 0.9  # and redelivered locally
+    save_table("an9_retention", table.render())

@@ -1,0 +1,47 @@
+"""Benchmarks regenerating the paper's figures (FIG1, FIG3, FIG4).
+
+Each run re-executes the scripted scenario, asserts the paper's message
+sequence, and records the chart.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sequence import render_chart, subsequence_present
+from repro.experiments.scenarios import (
+    FIG3_EXPECTED_KINDS,
+    FIG4_EXPECTED_KINDS,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+)
+
+
+def test_bench_fig1_topology(benchmark, save_table):
+    result = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+    assert result.facts["query_done"]
+    assert result.facts["mcast_receivers"] == ["mh1", "mh4", "mh5"]
+    assert result.facts["live_proxies"] == 0
+    facts = "\n".join(f"{k}: {v}" for k, v in result.facts.items())
+    save_table("fig1_topology", "FIG1: 3 MSSs, 5 MHs, roaming query + "
+               "mcast(1,4,5)\n" + facts)
+
+
+def test_bench_fig3_single_request(benchmark, save_table):
+    result = benchmark.pedantic(run_fig3, rounds=3, iterations=1)
+    assert subsequence_present(result.kinds(), FIG3_EXPECTED_KINDS)
+    assert result.facts["retransmissions"] == 1
+    assert result.facts["live_proxies"] == 0
+    save_table("fig3_single_request",
+               render_chart(result.chart,
+                            title="FIG3: single request, two migrations"))
+
+
+def test_bench_fig4_multiple_requests(benchmark, save_table):
+    result = benchmark.pedantic(run_fig4, rounds=3, iterations=1)
+    assert subsequence_present(result.kinds(), FIG4_EXPECTED_KINDS)
+    assert result.facts["del_pref_notices"] == 1
+    assert result.facts["live_proxies"] == 0
+    save_table("fig4_multiple_requests",
+               render_chart(result.chart,
+                            title="FIG4: three overlapping requests, "
+                                  "RKpR machinery"))

@@ -1,0 +1,97 @@
+"""Macro benchmark: the full SIDAM city workload.
+
+Not one of the paper's artifacts, but the motivating system of Section 1
+running end-to-end: a grid city, a TIS overlay, roaming citizens and
+staff, background traffic evolution — measuring whole-system throughput
+and query latency over RDP.
+"""
+
+from __future__ import annotations
+
+from repro import World, WorldConfig
+from repro.analysis.stats import summarize
+from repro.config import LatencySpec
+from repro.experiments.harness import Table, drain
+from repro.mobility.models import ExponentialResidence, RandomNeighborWalk
+from repro.net.latency import ExponentialLatency
+from repro.servers.tis_network import TisNetwork
+from repro.sidam.city import CityModel
+from repro.sidam.traffic import StaffReporter, SyntheticTraffic
+from repro.sidam.workload import CitizenWorkload
+
+
+def run_city(n_citizens: int = 8, duration: float = 240.0, seed: int = 5):
+    config = WorldConfig(
+        seed=seed,
+        topology="grid",
+        grid_width=3,
+        grid_height=3,
+        wired_latency=LatencySpec(kind="exponential", mean=0.012),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.01,
+        trace=False,
+    )
+    world = World(config)
+    city = CityModel(world.cell_map, n_servers=3)
+    tis = TisNetwork(world.sim, world.wired, world.directory,
+                     partitions=city.partitions,
+                     overlay_edges=city.overlay_edges(),
+                     instruments=world.instruments,
+                     service_time=ExponentialLatency(scale=0.04, floor=0.01),
+                     cache_ttl=20.0)
+    traffic = SyntheticTraffic(world.sim, tis, world.rng.stream("traffic"),
+                               period=10.0)
+    traffic.start()
+    walk = RandomNeighborWalk(world.cell_map)
+    workloads = []
+    for i in range(n_citizens):
+        name = f"citizen{i}"
+        client = world.add_host(name, world.cells[i % len(world.cells)],
+                                retry_interval=5.0)
+        world.add_mobility(name, walk, ExponentialResidence(20.0))
+        entry = f"tis.{sorted(city.partitions)[i % 3]}"
+        workload = CitizenWorkload(world.sim, client, city,
+                                   world.rng.stream(f"wl.{name}"),
+                                   service=entry, mean_interarrival=10.0)
+        workload.start()
+        workloads.append(workload)
+    reporter_client = world.add_host("staff", world.cells[0],
+                                     retry_interval=5.0)
+    world.add_mobility("staff", walk, ExponentialResidence(12.0))
+    reporter = StaffReporter(world.sim, reporter_client, city,
+                             world.rng.stream("staff"),
+                             service="tis.tis0", period=15.0)
+    reporter.start()
+
+    world.run(until=duration)
+    for workload in workloads:
+        workload.stop()
+    reporter.stop()
+    traffic.stop()
+    drain(world)
+
+    queries = [p for w in workloads for p in w.stats.requests]
+    latencies = [p.latency for p in queries if p.latency is not None]
+    return {
+        "world": world,
+        "queries": len(queries),
+        "answered": sum(p.done for p in queries),
+        "latency": summarize(latencies),
+        "handoffs": world.metrics.count("handoffs_completed"),
+        "retransmissions": world.metrics.count("proxy_retransmissions"),
+    }
+
+
+def test_bench_sidam_macro(benchmark, save_table):
+    stats = benchmark.pedantic(run_city, rounds=1, iterations=1)
+    assert stats["queries"] > 50
+    assert stats["answered"] == stats["queries"]
+    table = Table(
+        title="SIDAM macro workload (3x3 city, 3 TIS servers, 8 citizens)",
+        columns=["queries", "answered", "handoffs", "retransmissions",
+                 "latency mean (s)", "latency p95 (s)"],
+    )
+    table.add_row(stats["queries"], stats["answered"], stats["handoffs"],
+                  stats["retransmissions"], stats["latency"].mean,
+                  stats["latency"].p95)
+    save_table("sidam_macro", table.render())

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Reliability shoot-out: RDP vs I-TCP-style vs best-effort delivery.
+
+Runs the AN1 workload — roaming, napping hosts on a lossy radio — over
+the three delivery protocols and prints delivery ratios plus the cost
+side of the ledger (retransmissions, hand-off bytes).
+
+Run:  python examples/reliability_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.an1_reliability import PROTOCOLS, run_reliability
+from repro.experiments.an7_handoff_cost import run_protocol
+
+
+def main() -> None:
+    print("delivery reliability (8 hosts, ring of 6 cells, 5% radio loss,")
+    print("exponential residence 15s, on/off cycles):\n")
+    print(f"{'protocol':<10} {'requests':>8} {'delivered':>9} {'ratio':>7} "
+          f"{'retransmissions':>16}")
+    for protocol in PROTOCOLS:
+        r = run_reliability(protocol, duration=300.0, seed=21)
+        print(f"{r.protocol:<10} {r.requests:>8} {r.delivered:>9} "
+              f"{r.delivery_ratio:>7.2%} {r.retransmissions:>16}")
+
+    print("\nhand-off cost for the two reliable protocols")
+    print("(4 hosts, 4KB results piling up across 8 hops each):\n")
+    print(f"{'protocol':<10} {'handoffs':>8} {'bytes/handoff':>14} "
+          f"{'residue ptrs':>13}")
+    for protocol in ("rdp", "itcp"):
+        r = run_protocol(protocol, seed=21)
+        print(f"{r.protocol:<10} {r.handoffs:>8} {r.deregack_bytes_mean:>14.0f} "
+              f"{r.forwarding_pointers:>13}")
+    print("\n=> RDP matches I-TCP reliability at a fraction of the")
+    print("   hand-off cost and with zero residue at old MSSs (paper §5).")
+
+
+if __name__ == "__main__":
+    main()

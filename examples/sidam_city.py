@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""The SIDAM scenario: a city-wide traffic information service.
+
+This is the paper's motivating application (Section 1): a 4x4-cell city
+served by four interconnected Traffic Information Servers.  Citizens
+random-walk through the city querying (mostly local) traffic conditions;
+Traffic Engineering staff drive around feeding observations back; a
+background process evolves the true congestion levels.
+
+Everything rides on RDP: queries and updates are request/reply through
+per-host proxies, and results chase migrating users reliably.
+
+Run:  python examples/sidam_city.py
+"""
+
+from __future__ import annotations
+
+from repro import World, WorldConfig
+from repro.analysis.stats import summarize
+from repro.config import LatencySpec
+from repro.experiments.harness import drain
+from repro.mobility.models import ExponentialResidence, RandomNeighborWalk
+from repro.net.latency import ExponentialLatency
+from repro.servers.tis_network import TisNetwork
+from repro.sidam.city import CityModel
+from repro.sidam.traffic import StaffReporter, SyntheticTraffic
+from repro.sidam.workload import CitizenWorkload
+
+N_CITIZENS = 10
+N_STAFF = 2
+DURATION = 300.0
+
+
+def main() -> None:
+    config = WorldConfig(
+        seed=7,
+        topology="grid",
+        grid_width=4,
+        grid_height=4,
+        wired_latency=LatencySpec(kind="exponential", mean=0.012),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.01,
+        trace=False,
+    )
+    world = World(config)
+    city = CityModel(world.cell_map, n_servers=4)
+    tis = TisNetwork(
+        world.sim, world.wired, world.directory,
+        partitions=city.partitions,
+        overlay_edges=city.overlay_edges(),
+        instruments=world.instruments,
+        service_time=ExponentialLatency(scale=0.05, floor=0.01),
+        cache_ttl=30.0,
+    )
+
+    traffic = SyntheticTraffic(world.sim, tis, world.rng.stream("traffic"),
+                               period=10.0)
+    traffic.start()
+
+    walk = RandomNeighborWalk(world.cell_map)
+    residence = ExponentialResidence(25.0)
+
+    workloads = []
+    for i in range(N_CITIZENS):
+        name = f"citizen{i}"
+        client = world.add_host(name, world.cells[i % len(world.cells)],
+                                retry_interval=5.0)
+        world.add_mobility(name, walk, residence)
+        # Each citizen queries its local TIS entry point.
+        entry = f"tis.{sorted(city.partitions)[i % 4]}"
+        workload = CitizenWorkload(world.sim, client, city,
+                                   world.rng.stream(f"wl.{name}"),
+                                   service=entry, mean_interarrival=12.0)
+        workload.start()
+        workloads.append(workload)
+
+    reporters = []
+    for i in range(N_STAFF):
+        name = f"staff{i}"
+        client = world.add_host(name, world.cells[-(i + 1)],
+                                retry_interval=5.0)
+        world.add_mobility(name, walk, ExponentialResidence(15.0))
+        reporter = StaffReporter(world.sim, client, city,
+                                 world.rng.stream(f"staff.{name}"),
+                                 service=f"tis.{sorted(city.partitions)[0]}",
+                                 period=20.0)
+        reporter.start()
+        reporters.append(reporter)
+
+    world.run(until=DURATION)
+    for w in workloads:
+        w.stop()
+    for r in reporters:
+        r.stop()
+    traffic.stop()
+    drain(world)
+
+    queries = [p for w in workloads for p in w.stats.requests]
+    reports = [p for c in (world.clients[f"staff{i}"] for i in range(N_STAFF))
+               for p in c.requests.values()]
+    print(f"city: 4x4 cells, {len(city.regions)} regions, 4 TIS servers")
+    print(f"citizen queries : {len(queries)} issued, "
+          f"{sum(p.done for p in queries)} answered")
+    print(f"staff reports   : {len(reports)} sent, "
+          f"{sum(p.done for p in reports)} confirmed")
+    print(f"query latency   : {summarize([p.latency for p in queries if p.latency is not None])}")
+    print(f"migrations      : {world.metrics.count('mh_migrations')}")
+    print(f"hand-offs       : {world.metrics.count('handoffs_completed')}")
+    print(f"retransmissions : {world.metrics.count('proxy_retransmissions')}")
+    print(f"proxies created : {world.metrics.count('proxies_created')}, "
+          f"deleted: {world.metrics.count('proxies_deleted')}, "
+          f"live: {world.live_proxy_count()}")
+    cache_hits = sum(s.cache_hits for s in tis.servers.values())
+    remote = sum(s.remote_lookups for s in tis.servers.values())
+    print(f"TIS: {cache_hits} cache hits, {remote} overlay lookups")
+
+
+if __name__ == "__main__":
+    main()

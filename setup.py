@@ -1,0 +1,20 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs fail; this file lets ``pip install -e .`` use
+the legacy setuptools path.  Metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'RDP: A Result Delivery Protocol for Mobile "
+        "Computing' (Endler, Silva, Okuda; ICDCS 2000)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,50 @@
+"""Analysis: metrics, statistics, sequence charts, invariant verification."""
+
+from .charts import curve, hbar_chart, sparkline
+from .latency import LatencyBreakdown, LatencyReport, extract_breakdowns, latency_report
+from .metrics import MetricsRegistry
+from .sequence import ChartEntry, extract_chart, kinds_in_order, render_chart, subsequence_present
+from .timeline import TimelineEvent, extract_timeline, lane_summary, render_timeline
+from .stats import (
+    Summary,
+    histogram,
+    imbalance_ratio,
+    jain_fairness,
+    mean,
+    percentile,
+    rate,
+    stddev,
+    summarize,
+)
+from .verify import VerificationReport, check_all
+
+__all__ = [
+    "ChartEntry",
+    "LatencyBreakdown",
+    "LatencyReport",
+    "MetricsRegistry",
+    "curve",
+    "extract_breakdowns",
+    "hbar_chart",
+    "latency_report",
+    "sparkline",
+    "Summary",
+    "TimelineEvent",
+    "VerificationReport",
+    "extract_timeline",
+    "lane_summary",
+    "render_timeline",
+    "check_all",
+    "extract_chart",
+    "histogram",
+    "imbalance_ratio",
+    "jain_fairness",
+    "kinds_in_order",
+    "mean",
+    "percentile",
+    "rate",
+    "render_chart",
+    "stddev",
+    "subsequence_present",
+    "summarize",
+]

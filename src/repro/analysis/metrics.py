@@ -1,0 +1,63 @@
+"""Protocol-level metric counters and timing series.
+
+Network-level counts (messages, bytes) live in
+:class:`repro.net.monitor.NetworkMonitor`; this registry tracks *protocol*
+events: retransmissions, duplicate deliveries, proxies created/deleted,
+hand-offs, ignored Acks, and latency samples such as request round-trip
+time and hand-off duration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MetricsRegistry:
+    """Counters plus named sample series."""
+
+    counters: Counter = field(default_factory=Counter)
+    series: Dict[str, List[float]] = field(default_factory=lambda: defaultdict(list))
+    node_counters: Dict[str, Counter] = field(default_factory=lambda: defaultdict(Counter))
+
+    def incr(self, name: str, amount: int = 1, node: Optional[str] = None) -> None:
+        """Bump a global counter, and optionally the per-node one too."""
+        self.counters[name] += amount
+        if node is not None:
+            self.node_counters[node][name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to the named series."""
+        self.series[name].append(value)
+
+    def count(self, name: str) -> int:
+        return self.counters[name]
+
+    def node_count(self, node: str, name: str) -> int:
+        return self.node_counters[node][name]
+
+    def samples(self, name: str) -> List[float]:
+        return self.series.get(name, [])
+
+    def mean(self, name: str) -> float:
+        values = self.samples(name)
+        return sum(values) / len(values) if values else 0.0
+
+    def per_node(self, name: str) -> Dict[str, int]:
+        """The named counter's value for every node that touched it."""
+        return {
+            node: counts[name]
+            for node, counts in self.node_counters.items()
+            if name in counts
+        }
+
+    def snapshot(self) -> Dict[str, int]:
+        """All global counters as a plain dict (for reports)."""
+        return dict(self.counters)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.series.clear()
+        self.node_counters.clear()

@@ -1,0 +1,92 @@
+"""World configuration.
+
+One :class:`WorldConfig` describes a complete simulated deployment: cell
+topology, network characteristics, MSS behaviour and protocol options.
+Experiments sweep these fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .errors import ConfigError
+
+TOPOLOGIES = ("line", "ring", "grid", "complete")
+ORDERINGS = ("raw", "fifo", "causal")
+LATENCY_KINDS = ("constant", "uniform", "exponential", "normal")
+PLACEMENTS = ("current", "home", "least_loaded")
+
+
+@dataclass
+class LatencySpec:
+    """Which latency model to build and with what mean."""
+
+    kind: str = "constant"
+    mean: float = 0.010
+    spread: float = 0.0  # half-width (uniform), stddev (normal), floor share n/a
+
+    def __post_init__(self) -> None:
+        if self.kind not in LATENCY_KINDS:
+            raise ConfigError(f"unknown latency kind {self.kind!r}")
+        if self.mean < 0 or self.spread < 0:
+            raise ConfigError(f"negative latency parameters in {self!r}")
+
+
+@dataclass
+class WorldConfig:
+    """Everything needed to build a world."""
+
+    seed: int = 0
+    # topology
+    n_cells: int = 3
+    topology: str = "line"
+    grid_width: int = 3
+    grid_height: int = 3
+    # networks
+    wired_latency: LatencySpec = field(default_factory=lambda: LatencySpec(mean=0.010))
+    wireless_latency: LatencySpec = field(default_factory=lambda: LatencySpec(mean=0.005))
+    wireless_loss: float = 0.0
+    # Shared per-cell radio bandwidth in bits/second; None = unlimited.
+    wireless_bandwidth_bps: Optional[float] = None
+    # Extra wired propagation delay per cell-map distance unit between
+    # stations (servers sit at the map centroid); None = flat network.
+    # Models geography: Mobile-IP-style home rendezvous pays triangle
+    # routing, RDP's local proxies do not (experiment AN11).
+    wired_distance_delay: Optional[float] = None
+    ordering: str = "causal"
+    # MSS behaviour
+    proc_delay: float = 0.0
+    ack_priority: bool = True
+    placement: str = "current"
+    persistent_proxies: bool = False
+    send_server_acks: bool = False
+    retain_results: bool = False  # paper Section 5, footnote 3
+    # Proxy migration (future-work extension): pull the proxy to the
+    # respMss once it is at least this many cell-map distance units away.
+    # None = the paper's behaviour (proxies never move).
+    proxy_migrate_distance: Optional[float] = None
+    # MH behaviour
+    greet_retry_interval: float = 1.0
+    ack_delay: float = 0.0
+    # instrumentation
+    trace: bool = True
+
+    def __post_init__(self) -> None:
+        if self.topology not in TOPOLOGIES:
+            raise ConfigError(f"unknown topology {self.topology!r}")
+        if self.ordering not in ORDERINGS:
+            raise ConfigError(f"unknown ordering {self.ordering!r}")
+        if self.placement not in PLACEMENTS:
+            raise ConfigError(f"unknown placement {self.placement!r}")
+        if self.n_cells < 1:
+            raise ConfigError("need at least one cell")
+        if self.topology == "grid" and (self.grid_width < 1
+                                        or self.grid_height < 1):
+            raise ConfigError("grid dimensions must be positive")
+        if self.topology == "ring" and self.n_cells < 3:
+            raise ConfigError("a ring needs at least three cells")
+        if not 0.0 <= self.wireless_loss < 1.0:
+            raise ConfigError(f"wireless loss {self.wireless_loss!r} out of range")
+        if self.proc_delay < 0 or self.ack_delay < 0:
+            raise ConfigError("delays must be non-negative")

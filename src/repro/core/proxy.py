@@ -1,0 +1,324 @@
+"""The proxy for requests — the paper's central mechanism (Section 3).
+
+A proxy is created on behalf of a mobile host at some MSS (normally the
+respMss at the time of the first request).  It provides a fixed address
+for server replies, tracks pending requests in ``requestlist``, stores
+results until they are acknowledged, forwards results to the MH's current
+respMss (``currentloc``), and re-sends unacknowledged results on every
+``update_currentloc``.  It removes itself through the del-pref / RKpR /
+del-proxy handshake of Section 3.3.
+
+The proxy is not a network node: it lives inside its hosting MSS, which
+routes wired messages to it by ``proxy_id`` and lends it its network
+identity for sends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Set
+
+from ..errors import ProxyError
+from ..instruments import Instruments
+from ..sim import Simulator
+from ..types import NodeId, ProxyId, ProxyRef, RequestId
+from .protocol import (
+    AckForwardMsg,
+    DelPrefNoticeMsg,
+    ForwardedRequestMsg,
+    NotificationMsg,
+    ResultForwardMsg,
+    ServerAckMsg,
+    ServerRequestMsg,
+    ServerResultMsg,
+    SubscriptionEndMsg,
+    UpdateCurrentLocMsg,
+)
+
+_delivery_ids = itertools.count(1)
+
+
+class ProxyHost(Protocol):
+    """What the proxy needs from its hosting MSS."""
+
+    node_id: NodeId
+
+    def proxy_wired_send(self, dst: NodeId, message: Any) -> None: ...
+    def resolve_service(self, service: str) -> Optional[NodeId]: ...
+    def remove_proxy(self, proxy_id: ProxyId) -> None: ...
+
+
+@dataclass
+class RequestRecord:
+    """State of one pending (not yet acknowledged) request."""
+
+    request_id: RequestId
+    service: str
+    payload: Any = None
+    server: Optional[NodeId] = None
+    issued_at: float = 0.0
+    result: Any = None
+    result_received: bool = False
+    delivery_id: int = 0
+    forward_count: int = 0
+    is_subscription: bool = False
+    is_notification: bool = False
+
+
+class Proxy:
+    """One mobile host's proxy for requests."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: ProxyHost,
+        mh: NodeId,
+        proxy_id: ProxyId,
+        instruments: Instruments,
+        send_server_acks: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.mh = mh
+        self.proxy_id = proxy_id
+        self.instr = instruments
+        self.send_server_acks = send_server_acks
+        self.currentloc: NodeId = host.node_id
+        self.requestlist: Dict[RequestId, RequestRecord] = {}
+        self.completed: Set[RequestId] = set()
+        self.deleted = False
+        self.created_at = sim.now
+        self.retransmissions = 0
+        instruments.metrics.incr("proxies_created", node=host.node_id)
+        instruments.recorder.record(sim.now, "proxy_create", host.node_id,
+                                    mh=mh, proxy_id=proxy_id)
+
+    @property
+    def ref(self) -> ProxyRef:
+        return ProxyRef(mss=self.host.node_id, proxy_id=self.proxy_id)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self.requestlist)
+
+    # -- inbound handlers (called by the hosting MSS router) ---------------
+
+    def handle_forwarded_request(self, msg: ForwardedRequestMsg) -> None:
+        self.admit_request(msg.request_id, msg.service, msg.payload)
+
+    def admit_request(self, request_id: RequestId, service: str,
+                      payload: Any) -> None:
+        """Register a request and dispatch it to the application server."""
+        if self.deleted:
+            raise ProxyError(f"request {request_id} reached deleted proxy {self.proxy_id}")
+        record = self.requestlist.get(request_id)
+        if record is not None:
+            self.instr.metrics.incr("proxy_duplicate_requests")
+            if record.result_received:
+                # A client retry means the result never made it down the
+                # last wireless hop; re-send instead of waiting for the
+                # next location update.
+                self._forward_result(record, retransmission=True)
+            return
+        if request_id in self.completed:
+            self.instr.metrics.incr("proxy_duplicate_requests")
+            return
+        record = RequestRecord(
+            request_id=request_id,
+            service=service,
+            payload=payload,
+            issued_at=self.sim.now,
+            is_subscription=self._is_subscription_request(payload),
+        )
+        self.requestlist[request_id] = record
+        self.instr.metrics.incr("proxy_requests_admitted", node=self.host.node_id)
+        self.instr.recorder.record(self.sim.now, "proxy_admit", self.host.node_id,
+                                   mh=self.mh, proxy_id=self.proxy_id,
+                                   request_id=request_id)
+        server = self.host.resolve_service(service)
+        if server is None:
+            # Fail fast toward the client: synthesize an error result so
+            # the request still completes through the normal path.
+            self._accept_result(record, {"error": f"unknown service {service!r}"})
+            return
+        record.server = server
+        self.host.proxy_wired_send(server, ServerRequestMsg(
+            request_id=request_id,
+            service=service,
+            payload=payload,
+            reply_to=self.ref,
+        ))
+
+    @staticmethod
+    def _is_subscription_request(payload: Any) -> bool:
+        return isinstance(payload, dict) and payload.get("subscribe") is True
+
+    def handle_server_result(self, msg: ServerResultMsg) -> None:
+        record = self.requestlist.get(msg.request_id)
+        if record is None or record.result_received:
+            self.instr.metrics.incr("proxy_stale_server_results")
+            return
+        self._accept_result(record, msg.payload)
+
+    def handle_notification(self, msg: NotificationMsg) -> None:
+        """A server push through an open subscription becomes a pending
+        child request whose result is already known."""
+        parent = self.requestlist.get(msg.subscription_id)
+        if parent is None:
+            self.instr.metrics.incr("proxy_stale_notifications")
+            return
+        child_id = RequestId(f"{msg.subscription_id}#n{msg.seq}")
+        if child_id in self.requestlist or child_id in self.completed:
+            self.instr.metrics.incr("proxy_duplicate_notifications")
+            return
+        record = RequestRecord(
+            request_id=child_id,
+            service=parent.service,
+            issued_at=self.sim.now,
+            is_notification=True,
+        )
+        self.requestlist[child_id] = record
+        self._accept_result(record, msg.payload)
+
+    def handle_subscription_end(self, msg: SubscriptionEndMsg) -> None:
+        record = self.requestlist.get(msg.subscription_id)
+        if record is None or record.result_received:
+            self.instr.metrics.incr("proxy_stale_subscription_ends")
+            return
+        self._accept_result(record, msg.payload)
+
+    def handle_update_currentloc(self, msg: UpdateCurrentLocMsg) -> None:
+        """Update the MH's location and re-send unacknowledged results."""
+        self.currentloc = msg.new_mss
+        self.instr.metrics.incr("proxy_location_updates", node=self.host.node_id)
+        for record in list(self.requestlist.values()):
+            if record.result_received:
+                retransmission = record.forward_count > 0
+                self._forward_result(record, retransmission=retransmission)
+
+    def handle_ack_forward(self, msg: AckForwardMsg) -> None:
+        record = self.requestlist.pop(msg.request_id, None)
+        if record is None:
+            self.instr.metrics.incr("proxy_duplicate_acks")
+        else:
+            self.completed.add(msg.request_id)
+            self.instr.metrics.incr("proxy_requests_completed", node=self.host.node_id)
+            self.instr.metrics.observe(
+                "request_completion_time", self.sim.now - record.issued_at)
+            if (self.send_server_acks and record.server is not None
+                    and not record.is_notification):
+                self.host.proxy_wired_send(record.server, ServerAckMsg(
+                    request_id=msg.request_id))
+        if msg.del_proxy:
+            if self.requestlist:
+                # The respMss confirmed removal but new work arrived in the
+                # meantime through a re-created pref; never drop live
+                # requests (defensive guard, counted for the verifier).
+                self.instr.metrics.incr("proxy_del_proxy_with_pending")
+            else:
+                self._delete()
+            return
+        self._maybe_signal_last_pending()
+
+    # -- internals ----------------------------------------------------------
+
+    def _accept_result(self, record: RequestRecord, payload: Any) -> None:
+        record.result = payload
+        record.result_received = True
+        record.delivery_id = next(_delivery_ids)
+        self.instr.metrics.incr("proxy_results_received", node=self.host.node_id)
+        self._forward_result(record, retransmission=False)
+
+    def _is_last_pending(self, request_id: RequestId) -> bool:
+        return len(self.requestlist) == 1 and request_id in self.requestlist
+
+    def _forward_result(self, record: RequestRecord, retransmission: bool) -> None:
+        del_pref = self._is_last_pending(record.request_id)
+        record.forward_count += 1
+        if retransmission:
+            self.retransmissions += 1
+            self.instr.metrics.incr("proxy_retransmissions", node=self.host.node_id)
+            self.instr.recorder.record(
+                self.sim.now, "retransmit", self.host.node_id,
+                mh=self.mh, request_id=record.request_id, to=self.currentloc)
+        self.host.proxy_wired_send(self.currentloc, ResultForwardMsg(
+            mh=self.mh,
+            proxy_ref=self.ref,
+            request_id=record.request_id,
+            delivery_id=record.delivery_id,
+            payload=record.result,
+            del_pref=del_pref,
+            retransmission=retransmission,
+        ))
+
+    def _maybe_signal_last_pending(self) -> None:
+        """Figure 4's special message: when an Ack leaves exactly one
+        pending request whose result was already forwarded (without a
+        del-pref that is still valid), tell the respMss to set RKpR."""
+        if len(self.requestlist) != 1:
+            return
+        (record,) = self.requestlist.values()
+        if record.result_received and record.forward_count > 0:
+            self.instr.metrics.incr("proxy_del_pref_notices", node=self.host.node_id)
+            self.host.proxy_wired_send(self.currentloc, DelPrefNoticeMsg(
+                mh=self.mh, proxy_ref=self.ref))
+
+    # -- migration (future-work extension; see docs/PROTOCOL.md §8) ---------
+
+    def export_state(self) -> Dict[str, Any]:
+        """Serialize for a move to another MSS."""
+        return {
+            "mh": self.mh,
+            "records": list(self.requestlist.values()),
+            "completed": set(self.completed),
+            "retransmissions": self.retransmissions,
+            "created_at": self.created_at,
+        }
+
+    def state_bytes(self) -> int:
+        """Modelled wire size of the exported state."""
+        from ..net.message import _payload_size
+
+        total = 32
+        for record in self.requestlist.values():
+            total += 48 + _payload_size(record.payload) + _payload_size(record.result)
+        total += 8 * len(self.completed)
+        return total
+
+    def import_state(self, state: Dict[str, Any]) -> None:
+        """Install a moved proxy's state (the new host calls this once,
+        right after construction)."""
+        for record in state["records"]:
+            self.requestlist[record.request_id] = record
+        self.completed = set(state["completed"])
+        self.retransmissions = state.get("retransmissions", 0)
+        self.created_at = state.get("created_at", self.created_at)
+
+    def after_relocation(self) -> None:
+        """Post-move fixups: point open subscriptions at the new address
+        and re-send anything unacknowledged (the MH is at our host)."""
+        from .protocol import SubscriptionRelocateMsg
+
+        for record in self.requestlist.values():
+            if record.is_subscription and record.server is not None:
+                self.host.proxy_wired_send(record.server, SubscriptionRelocateMsg(
+                    subscription_id=record.request_id, new_ref=self.ref))
+        for record in list(self.requestlist.values()):
+            if record.result_received:
+                self._forward_result(record,
+                                     retransmission=record.forward_count > 0)
+
+    def mark_migrated(self) -> None:
+        """The old host calls this after exporting: the object is dead."""
+        self.deleted = True
+
+    def _delete(self) -> None:
+        if self.deleted:
+            return
+        self.deleted = True
+        self.instr.metrics.incr("proxies_deleted", node=self.host.node_id)
+        self.instr.metrics.observe("proxy_lifetime", self.sim.now - self.created_at)
+        self.instr.recorder.record(self.sim.now, "proxy_delete", self.host.node_id,
+                                   mh=self.mh, proxy_id=self.proxy_id)
+        self.host.remove_proxy(self.proxy_id)

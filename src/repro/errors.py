@@ -1,0 +1,51 @@
+"""Exception hierarchy for the RDP reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class NetworkError(ReproError):
+    """Misuse of a network substrate (unknown node, detached host, ...)."""
+
+
+class UnknownNodeError(NetworkError):
+    """A message was addressed to a node the network does not know."""
+
+
+class ProtocolError(ReproError):
+    """An RDP protocol entity received a message that violates the model."""
+
+
+class HandoffError(ProtocolError):
+    """Inconsistent state detected during the hand-off protocol."""
+
+
+class ProxyError(ProtocolError):
+    """Inconsistent proxy life-cycle state."""
+
+
+class MobilityError(ReproError):
+    """Invalid mobility model input (unknown cell, bad residence time, ...)."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class VerificationError(ReproError):
+    """A protocol invariant was violated (raised by trace verification)."""

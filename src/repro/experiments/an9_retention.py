@@ -1,0 +1,124 @@
+"""AN9 — ablation: respMss result retention (paper Section 5, footnote 3).
+
+Paper: "if the MSS is able to detect that the target MH is currently
+inactive, it may keep the message, save the re-transmission by the
+proxy, and wait until the MH becomes active again."
+
+Workload: hosts that nap a lot while slow results arrive for them.
+Without retention, every result that hits a sleeping host is re-sent by
+the proxy over the wired network after the reactivation's
+``update_currentloc``.  With retention, the respMss redelivers locally
+and briefly defers the update so the Acks win the causal race — the
+wired retransmission disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import LatencySpec, WorldConfig
+from ..mobility.activity import ActivityProcess
+from ..net.latency import ExponentialLatency
+from ..servers.echo import EchoServer
+from ..sim import PeriodicProcess
+from ..types import MhState
+from ..world import World
+from .harness import Table, drain
+
+
+@dataclass
+class RetentionResult:
+    retention: bool
+    requests: int
+    delivered: int
+    proxy_retransmissions: int
+    retained: int
+    redeliveries: int
+    wired_result_forwards: int
+
+
+def run_retention(
+    retention: bool,
+    n_hosts: int = 6,
+    duration: float = 400.0,
+    seed: int = 0,
+) -> RetentionResult:
+    config = WorldConfig(
+        seed=seed,
+        n_cells=4,
+        topology="ring",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        retain_results=retention,
+        trace=False,
+    )
+    world = World(config)
+    world.add_server("echo", EchoServer,
+                     service_time=ExponentialLatency(scale=3.0, floor=1.0))
+
+    processes: List = []
+    for i in range(n_hosts):
+        name = f"mh{i}"
+        client = world.add_host(name, world.cells[i % len(world.cells)],
+                                retry_interval=8.0)
+        host = world.hosts[name]
+        rng = world.rng.stream(f"an9.{name}")
+
+        # Issue, then nap before the (slow) result can arrive.
+        def issue(client=client, host=host) -> None:
+            if world.sim.now > duration * 0.8:
+                return
+            if host.state is MhState.ACTIVE:
+                client.request("echo", len(client.requests))
+        proc = PeriodicProcess(world.sim, issue,
+                               lambda rng=rng: rng.expovariate(1.0 / 15.0),
+                               label="an9:issue")
+        proc.start()
+        processes.append(proc)
+
+        activity = ActivityProcess(
+            world.sim, host,
+            on_duration=lambda rng=rng: rng.expovariate(1.0 / 4.0),
+            off_duration=lambda rng=rng: rng.expovariate(1.0 / 6.0))
+        activity.start()
+        processes.append(activity)
+
+    world.run(until=duration)
+    for proc in processes:
+        proc.stop()
+    drain(world)
+
+    return RetentionResult(
+        retention=retention,
+        requests=sum(len(c.requests) for c in world.clients.values()),
+        delivered=sum(len(c.completed) for c in world.clients.values()),
+        proxy_retransmissions=world.metrics.count("proxy_retransmissions"),
+        retained=world.metrics.count("results_retained"),
+        redeliveries=world.metrics.count("retained_redeliveries"),
+        wired_result_forwards=world.monitor.count("result_forward", "wired"),
+    )
+
+
+def run_an9(seeds: int = 3, **kwargs) -> Table:
+    table = Table(
+        title=f"AN9: footnote-3 result retention at the respMss ({seeds} seeds)",
+        columns=["retention", "requests", "delivered",
+                 "proxy retransmissions", "results retained",
+                 "local redeliveries", "wired result forwards"],
+    )
+    for retention in (False, True):
+        totals = [0, 0, 0, 0, 0, 0]
+        for seed in range(seeds):
+            r = run_retention(retention, seed=seed, **kwargs)
+            totals[0] += r.requests
+            totals[1] += r.delivered
+            totals[2] += r.proxy_retransmissions
+            totals[3] += r.retained
+            totals[4] += r.redeliveries
+            totals[5] += r.wired_result_forwards
+        table.add_row("on" if retention else "off", *totals)
+    table.notes.append(
+        "footnote 3: retention saves the proxy's wired retransmission for "
+        "results that found the MH asleep")
+    return table

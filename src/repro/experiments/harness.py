@@ -1,0 +1,122 @@
+"""Shared experiment plumbing.
+
+Helpers used by every experiment module: driving a world to delivery
+quiescence (repeated inactivity/activation rounds stand in for the
+paper's "periods of inactivity and any number of migrations" that
+eventually trigger redelivery), and plain-text table formatting for the
+benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import ReproError
+from ..types import MhState
+from ..world import World
+
+
+def settle_active(world: World) -> None:
+    """Ensure every joined host ends up active (wakes sleeping ones)."""
+    for host in world.hosts.values():
+        if host.state is MhState.INACTIVE:
+            host.activate()
+
+
+def outstanding_requests(world: World) -> int:
+    """Client requests without a result yet, across the whole world."""
+    return sum(len(client.outstanding) for client in world.clients.values())
+
+
+def drain(world: World, max_rounds: int = 60, round_window: float = 30.0) -> int:
+    """Run to quiescence, nudging redelivery until every request completes.
+
+    Under lossy wireless an Ack can vanish after the last migration, in
+    which case the proxy (faithfully to the paper) waits for the next
+    ``update_currentloc``.  Each drain round toggles every host through a
+    deactivate/activate cycle — a reactivation greet — which triggers the
+    re-send.  Rounds advance in bounded time slices (client retry timers
+    keep the event queue alive while anything is outstanding, so "run
+    until idle" cannot be the loop condition).  Returns the number of
+    rounds used.
+
+    Raises :class:`ReproError` when requests remain after ``max_rounds``
+    (which would indicate a protocol bug, not bad luck: each round
+    retransmits every unacknowledged result).
+    """
+    for driver in world.drivers:
+        driver.stop()
+    settle_active(world)
+    world.sim.run(until=world.sim.now + round_window)
+    rounds = 0
+    while outstanding_requests(world) > 0:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ReproError(
+                f"{outstanding_requests(world)} requests still outstanding "
+                f"after {max_rounds} drain rounds")
+        for host in world.hosts.values():
+            if host.state is MhState.ACTIVE:
+                host.deactivate()
+        world.sim.run(until=world.sim.now + round_window)
+        settle_active(world)
+        world.sim.run(until=world.sim.now + round_window)
+    world.sim.run_until_idle()  # retries are gone; flush the tail
+    return rounds
+
+
+@dataclass
+class Table:
+    """A printable experiment table (one per paper artifact)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.4g}"
+            return str(value)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in body:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (quotes fields containing commas)."""
+        def fmt(value: Any) -> str:
+            text = f"{value:.6g}" if isinstance(value, float) else str(value)
+            if "," in text or '"' in text:
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(fmt(c) for c in self.columns)]
+        lines.extend(",".join(fmt(v) for v in row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def dump_tables(tables: Iterable[Table]) -> str:
+    return "\n\n".join(t.render() for t in tables)

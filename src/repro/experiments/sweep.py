@@ -1,0 +1,88 @@
+"""Seed sweeps with aggregate statistics.
+
+Single simulation runs are point samples; reviewers want means and
+spread.  :func:`sweep` runs any seed-parameterized experiment function
+across seeds and aggregates its numeric outputs into mean ± sd columns.
+
+Works with the granular ``run_*`` functions that return a dataclass
+(e.g. :func:`repro.experiments.run_reliability`), using every numeric
+field/property as a metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..analysis.stats import mean, stddev
+from .harness import Table
+
+
+def _numeric_fields(result: Any) -> Dict[str, float]:
+    """Extract every numeric attribute of a result object."""
+    out: Dict[str, float] = {}
+    if dataclasses.is_dataclass(result):
+        for field in dataclasses.fields(result):
+            value = getattr(result, field.name)
+            if isinstance(value, bool):
+                out[field.name] = float(value)
+            elif isinstance(value, (int, float)):
+                out[field.name] = float(value)
+        # Properties (e.g. delivery_ratio) are part of the result too.
+        for name in dir(type(result)):
+            if name.startswith("_"):
+                continue
+            attr = getattr(type(result), name, None)
+            if isinstance(attr, property):
+                value = getattr(result, name)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[name] = float(value)
+    elif isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[str(key)] = float(value)
+    return out
+
+
+def sweep(
+    fn: Callable[..., Any],
+    seeds: Sequence[int],
+    metrics: Optional[Sequence[str]] = None,
+    **kwargs: Any,
+) -> Dict[str, Dict[str, float]]:
+    """Run ``fn(seed=s, **kwargs)`` for every seed; aggregate numerics.
+
+    Returns ``{metric: {"mean": ..., "sd": ..., "min": ..., "max": ...}}``.
+    """
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        result = fn(seed=seed, **kwargs)
+        for name, value in _numeric_fields(result).items():
+            if metrics is not None and name not in metrics:
+                continue
+            samples.setdefault(name, []).append(value)
+    return {
+        name: {"mean": mean(values), "sd": stddev(values),
+               "min": min(values), "max": max(values)}
+        for name, values in samples.items()
+    }
+
+
+def sweep_table(
+    fn: Callable[..., Any],
+    seeds: Sequence[int],
+    title: str,
+    metrics: Optional[Sequence[str]] = None,
+    **kwargs: Any,
+) -> Table:
+    """Like :func:`sweep`, rendered as a printable table."""
+    stats = sweep(fn, seeds, metrics=metrics, **kwargs)
+    table = Table(title=f"{title} ({len(seeds)} seeds)",
+                  columns=["metric", "mean", "sd", "min", "max"])
+    order = metrics if metrics is not None else sorted(stats)
+    for name in order:
+        if name not in stats:
+            continue
+        row = stats[name]
+        table.add_row(name, row["mean"], row["sd"], row["min"], row["max"])
+    return table

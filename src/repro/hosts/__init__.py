@@ -1,0 +1,8 @@
+"""Mobile hosts and the client-side API (plain and queued/QRPC)."""
+
+from .api import PendingRequest, RdpClient, Subscription
+from .mobile_host import MobileHost
+from .qrpc import QueuedRpcClient
+
+__all__ = ["MobileHost", "PendingRequest", "QueuedRpcClient", "RdpClient",
+           "Subscription"]

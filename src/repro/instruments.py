@@ -1,0 +1,32 @@
+"""The instrumentation bundle shared by every entity in a world.
+
+Groups the three observability channels so constructors take one argument:
+
+* :class:`~repro.sim.tracing.TraceRecorder` — structured event trace
+  (sequence charts, invariant verification);
+* :class:`~repro.net.monitor.NetworkMonitor` — message/byte counters;
+* :class:`~repro.analysis.metrics.MetricsRegistry` — protocol counters and
+  latency series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .analysis.metrics import MetricsRegistry
+from .net.monitor import NetworkMonitor
+from .sim.tracing import TraceRecorder
+
+
+@dataclass
+class Instruments:
+    """One bundle per simulated world."""
+
+    recorder: TraceRecorder = field(default_factory=TraceRecorder)
+    monitor: NetworkMonitor = field(default_factory=NetworkMonitor)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @classmethod
+    def disabled(cls) -> "Instruments":
+        """Counters only — no per-event trace rows (fast sweeps)."""
+        return cls(recorder=TraceRecorder(enabled=False))

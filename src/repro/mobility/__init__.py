@@ -1,0 +1,54 @@
+"""Mobility substrate: cell topologies, mobility models, activity, traces."""
+
+from .activity import ActivityProcess, exponential_durations, fixed_durations
+from .cellmap import (
+    CellMap,
+    complete_topology,
+    custom_topology,
+    grid_topology,
+    line_topology,
+    ring_topology,
+)
+from .driver import MobilityDriver
+from .models import (
+    ExponentialResidence,
+    FixedResidence,
+    FixedRoute,
+    HotspotMobility,
+    MarkovMobility,
+    MobilityModel,
+    PlatoonMobility,
+    RandomNeighborWalk,
+    ResidenceTime,
+    UniformResidence,
+)
+from .trace import ACTIVATE, DEACTIVATE, MIGRATE, MobilityTrace, TraceReplayer, TraceStep
+
+__all__ = [
+    "ACTIVATE",
+    "ActivityProcess",
+    "CellMap",
+    "DEACTIVATE",
+    "ExponentialResidence",
+    "FixedResidence",
+    "FixedRoute",
+    "HotspotMobility",
+    "MIGRATE",
+    "MarkovMobility",
+    "MobilityDriver",
+    "MobilityModel",
+    "MobilityTrace",
+    "PlatoonMobility",
+    "RandomNeighborWalk",
+    "ResidenceTime",
+    "TraceReplayer",
+    "TraceStep",
+    "UniformResidence",
+    "complete_topology",
+    "custom_topology",
+    "exponential_durations",
+    "fixed_durations",
+    "grid_topology",
+    "line_topology",
+    "ring_topology",
+]

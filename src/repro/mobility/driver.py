@@ -1,0 +1,75 @@
+"""Drives migrations of a mobile host according to a mobility model."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Protocol
+
+from ..sim import Simulator
+from ..types import CellId, MhState
+from .models import MobilityModel, ResidenceTime
+
+
+class MigratableHost(Protocol):
+    """The slice of the mobile-host interface the driver needs."""
+
+    current_cell: Optional[CellId]
+    state: MhState
+
+    def migrate_to(self, cell: CellId) -> None: ...
+
+
+class MobilityDriver:
+    """Samples residence times and triggers migrations.
+
+    The driver keeps moving the host even while it is inactive — people
+    carry switched-off devices around — which is exactly the case where the
+    paper's MH "becomes active again ... in a new cell".
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: MigratableHost,
+        model: MobilityModel,
+        residence: ResidenceTime,
+        rng: random.Random,
+        max_migrations: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.model = model
+        self.residence = residence
+        self.rng = rng
+        self.max_migrations = max_migrations
+        self.migrations = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        self.sim.schedule(self.residence.sample(self.rng), self._move,
+                          label="mobility:move")
+
+    def _move(self) -> None:
+        if not self._running:
+            return
+        if self.host.state is MhState.LEFT:
+            self._running = False
+            return
+        current = self.host.current_cell
+        if current is not None and self.host.state is not MhState.MIGRATING:
+            target = self.model.next_cell(current, self.rng)
+            if target is not None and target != current:
+                self.host.migrate_to(target)
+                self.migrations += 1
+                if (self.max_migrations is not None
+                        and self.migrations >= self.max_migrations):
+                    self._running = False
+                    return
+        self._schedule_next()

@@ -1,0 +1,208 @@
+"""Mobility models.
+
+A mobility model answers two questions for a mobile host:
+
+* how long does it stay in the current cell (*residence time*), and
+* which cell does it migrate to next.
+
+The residence-time distribution is the lever of experiment AN3: the paper
+predicts result retransmissions only when the mean residence time drops
+below ``t_wired + t_wireless``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Sequence
+
+from ..errors import MobilityError
+from ..types import CellId
+from .cellmap import CellMap
+
+
+class ResidenceTime(ABC):
+    """Distribution of the time spent in one cell."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> float: ...
+
+    @property
+    @abstractmethod
+    def mean(self) -> float: ...
+
+
+class FixedResidence(ResidenceTime):
+    """Always stay exactly ``duration``."""
+
+    def __init__(self, duration: float) -> None:
+        if duration <= 0:
+            raise MobilityError(f"residence time must be positive, got {duration}")
+        self.duration = duration
+
+    def sample(self, rng: random.Random) -> float:
+        return self.duration
+
+    @property
+    def mean(self) -> float:
+        return self.duration
+
+
+class ExponentialResidence(ResidenceTime):
+    """Exponential residence time (memoryless cell dwell)."""
+
+    def __init__(self, mean: float) -> None:
+        if mean <= 0:
+            raise MobilityError(f"mean residence must be positive, got {mean}")
+        self._mean = mean
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.expovariate(1.0 / self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+
+class UniformResidence(ResidenceTime):
+    """Residence time uniform in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if low <= 0 or high < low:
+            raise MobilityError(f"invalid residence range [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    @property
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+
+class MobilityModel(ABC):
+    """Chooses the next cell for a migrating host."""
+
+    @abstractmethod
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        """The target cell, or None to stay put this round."""
+
+
+class RandomNeighborWalk(MobilityModel):
+    """Uniform random walk over cell-map edges (the paper's 'random
+    communication between processes' mobility substitute)."""
+
+    def __init__(self, cell_map: CellMap) -> None:
+        self.cell_map = cell_map
+
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        neighbors = self.cell_map.neighbors(current)
+        if not neighbors:
+            return None
+        return rng.choice(neighbors)
+
+
+class MarkovMobility(MobilityModel):
+    """Explicit per-cell transition probabilities.
+
+    ``transitions[cell]`` maps target cell -> probability; probabilities
+    may sum to less than 1, the remainder meaning "stay".
+    """
+
+    def __init__(self, transitions: Dict[CellId, Dict[CellId, float]]) -> None:
+        for cell, row in transitions.items():
+            total = sum(row.values())
+            if total > 1.0 + 1e-9 or any(p < 0 for p in row.values()):
+                raise MobilityError(f"invalid transition row for {cell!r}: {row}")
+        self.transitions = transitions
+
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        row = self.transitions.get(current, {})
+        draw = rng.random()
+        acc = 0.0
+        for target, prob in sorted(row.items()):
+            acc += prob
+            if draw < acc:
+                return target
+        return None
+
+
+class HotspotMobility(MobilityModel):
+    """Random walk biased toward a hotspot cell.
+
+    With probability ``pull`` the host moves one hop toward the hotspot;
+    otherwise it walks to a uniform random neighbour.  Used by the load
+    balancing experiment (AN5): under Mobile IP the hotspot's home agents
+    stay wherever hosts started, while RDP proxies follow the crowd.
+    """
+
+    def __init__(self, cell_map: CellMap, hotspot: CellId, pull: float = 0.6) -> None:
+        if not 0.0 <= pull <= 1.0:
+            raise MobilityError(f"pull must be a probability, got {pull}")
+        if hotspot not in cell_map:
+            raise MobilityError(f"hotspot {hotspot!r} not in the cell map")
+        self.cell_map = cell_map
+        self.hotspot = hotspot
+        self.pull = pull
+
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        neighbors = self.cell_map.neighbors(current)
+        if not neighbors:
+            return None
+        if current != self.hotspot and rng.random() < self.pull:
+            best = min(
+                neighbors,
+                key=lambda c: (self.cell_map.distance_hops(c, self.hotspot), c),
+            )
+            return best
+        return rng.choice(neighbors)
+
+
+class PlatoonMobility(MobilityModel):
+    """Group mobility: followers trail a leader's cell.
+
+    Models the paper's car-pool / staff-vehicle narratives: one host (the
+    leader) moves by any model; followers, when asked for their next
+    cell, step one hop toward the leader's current cell (or stay if
+    already co-located).  Give each follower its own
+    :class:`PlatoonMobility` wrapping the shared leader handle.
+    """
+
+    def __init__(self, cell_map: CellMap, leader) -> None:
+        self.cell_map = cell_map
+        self.leader = leader  # anything with .current_cell
+
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        target = self.leader.current_cell
+        if target is None or target == current:
+            return None
+        if target in self.cell_map.neighbors(current):
+            return target
+        neighbors = self.cell_map.neighbors(current)
+        if not neighbors:
+            return None
+        return min(neighbors,
+                   key=lambda c: (self.cell_map.distance_hops(c, target), c))
+
+
+class FixedRoute(MobilityModel):
+    """Deterministic route through a sequence of cells (scenario replays).
+
+    After the final cell the host stays put (``next_cell`` returns None).
+    """
+
+    def __init__(self, route: Sequence[CellId]) -> None:
+        if not route:
+            raise MobilityError("route must contain at least one cell")
+        self.route = list(route)
+        self._index = 0
+
+    def next_cell(self, current: CellId, rng: random.Random) -> Optional[CellId]:
+        if self._index < len(self.route) and self.route[self._index] == current:
+            self._index += 1
+        if self._index >= len(self.route):
+            return None
+        target = self.route[self._index]
+        self._index += 1
+        return target

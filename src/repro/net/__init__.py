@@ -1,0 +1,44 @@
+"""Network substrates: messages, wired and wireless channels, ordering.
+
+* :class:`Message` — base class for all simulated messages
+* :class:`WiredNetwork` — reliable static network (causal order by default)
+* :class:`WirelessChannel` — cell radio with loss and inactivity drops
+* :class:`DirectoryService` — fixed-address server lookup
+* :class:`NetworkMonitor` — message/byte counters
+* latency models in :mod:`repro.net.latency`
+* ordering layers (raw / fifo / causal) in :mod:`repro.net.causal`
+"""
+
+from .causal import CausalOrdering, FifoOrdering, OrderingLayer, RawOrdering, make_ordering
+from .directory import DirectoryService
+from .latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    LatencyModel,
+    NormalLatency,
+    UniformLatency,
+)
+from .message import Message
+from .monitor import NetworkMonitor
+from .vectorclock import VectorClock
+from .wired import WiredNetwork
+from .wireless import WirelessChannel
+
+__all__ = [
+    "CausalOrdering",
+    "ConstantLatency",
+    "DirectoryService",
+    "ExponentialLatency",
+    "FifoOrdering",
+    "LatencyModel",
+    "Message",
+    "NetworkMonitor",
+    "NormalLatency",
+    "OrderingLayer",
+    "RawOrdering",
+    "UniformLatency",
+    "VectorClock",
+    "WiredNetwork",
+    "WirelessChannel",
+    "make_ordering",
+]

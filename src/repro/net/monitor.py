@@ -1,0 +1,83 @@
+"""Network statistics: message and byte counters.
+
+The monitor is shared by the wired and wireless substrates.  Experiments
+read it to account protocol overhead (AN4: ``update_currentloc`` and extra
+Ack messages) and per-node load (AN5: messages handled per MSS).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..types import NodeId
+from .message import Message
+
+
+@dataclass
+class NetworkMonitor:
+    """Counters keyed by network name, message kind and node."""
+
+    sent_msgs: Counter = field(default_factory=Counter)
+    sent_bytes: Counter = field(default_factory=Counter)
+    dropped_msgs: Counter = field(default_factory=Counter)
+    node_sent: Counter = field(default_factory=Counter)
+    node_received: Counter = field(default_factory=Counter)
+
+    def on_send(self, network: str, message: Message) -> None:
+        key = (network, message.kind)
+        self.sent_msgs[key] += 1
+        self.sent_bytes[key] += message.size_bytes()
+        if message.src is not None:
+            self.node_sent[message.src] += 1
+
+    def on_deliver(self, network: str, message: Message) -> None:
+        if message.dst is not None:
+            self.node_received[message.dst] += 1
+
+    def on_drop(self, network: str, message: Message, reason: str) -> None:
+        self.dropped_msgs[(network, message.kind, reason)] += 1
+
+    def count(self, kind: str, network: str | None = None) -> int:
+        """Messages of *kind* sent on *network* (or on any network)."""
+        return sum(
+            value
+            for (net, k), value in self.sent_msgs.items()
+            if k == kind and (network is None or net == network)
+        )
+
+    def bytes_of(self, kind: str, network: str | None = None) -> int:
+        """Bytes of *kind* sent on *network* (or on any network)."""
+        return sum(
+            value
+            for (net, k), value in self.sent_bytes.items()
+            if k == kind and (network is None or net == network)
+        )
+
+    def drops(self, reason: str | None = None) -> int:
+        """Dropped messages, optionally filtered by reason."""
+        return sum(
+            value
+            for (net, kind, r), value in self.dropped_msgs.items()
+            if reason is None or r == reason
+        )
+
+    def total_messages(self, network: str | None = None) -> int:
+        return sum(
+            value
+            for (net, _kind), value in self.sent_msgs.items()
+            if network is None or net == network
+        )
+
+    def kind_histogram(self, network: str | None = None) -> Dict[str, int]:
+        """Message counts per kind (summed over networks by default)."""
+        out: Dict[str, int] = {}
+        for (net, kind), value in self.sent_msgs.items():
+            if network is None or net == network:
+                out[kind] = out.get(kind, 0) + value
+        return out
+
+    def load_of(self, node: NodeId) -> int:
+        """Messages sent or received by *node* (a proxy for its load)."""
+        return self.node_sent[node] + self.node_received[node]

@@ -1,0 +1,193 @@
+"""The wireless (cell) channel.
+
+Each Mobile Support Station serves one cell.  The channel delivers
+
+* **downlink** messages (MSS -> MH): delivered only when, at arrival time,
+  the MH is still in the station's cell and is active — messages sent to a
+  host that migrated or turned itself off are silently lost, exactly the
+  situation RDP's proxy-side retransmission must cover;
+* **uplink** messages (MH -> the MSS of its current cell at send time).
+
+Both directions can additionally drop messages with a configurable loss
+probability to model radio errors.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Protocol
+
+from ..errors import NetworkError, UnknownNodeError
+from ..sim import Simulator, TraceRecorder
+from ..types import CellId, MhState, NodeId
+from .latency import ConstantLatency, LatencyModel
+from .message import Message
+from .monitor import NetworkMonitor
+
+
+class WirelessStation(Protocol):
+    """A base station: owns one cell, receives uplink messages."""
+
+    node_id: NodeId
+    cell_id: CellId
+
+    def on_wireless_message(self, message: Message) -> None: ...
+
+
+class WirelessHost(Protocol):
+    """A mobile host: has a current cell and an activity state."""
+
+    node_id: NodeId
+    current_cell: Optional[CellId]
+    state: MhState
+
+    def on_wireless_message(self, message: Message) -> None: ...
+
+
+class WirelessChannel:
+    """Cell-based radio channel with latency, loss and optional bandwidth.
+
+    When ``bandwidth_bps`` is set, each cell is a shared medium: messages
+    serialize one at a time per cell at ``size_bytes * 8 / bandwidth``
+    seconds each (uplink and downlink share the medium), modelling the
+    "communication bandwidth of wireless media" the indirect model lets
+    higher layers adapt to (paper, Section 4).  ``None`` keeps the
+    classic infinite-capacity behaviour.
+    """
+
+    name = "wireless"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_probability: float = 0.0,
+        rng: Optional[random.Random] = None,
+        recorder: Optional[TraceRecorder] = None,
+        monitor: Optional[NetworkMonitor] = None,
+        bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= loss_probability < 1.0:
+            raise NetworkError(f"loss probability {loss_probability!r} out of range")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise NetworkError(f"bandwidth {bandwidth_bps!r} must be positive")
+        self.sim = sim
+        self.latency = latency or ConstantLatency(0.005)
+        self.loss_probability = loss_probability
+        self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = recorder if recorder is not None else TraceRecorder(enabled=False)
+        self.monitor = monitor if monitor is not None else NetworkMonitor()
+        self.bandwidth_bps = bandwidth_bps
+        self._stations: Dict[CellId, WirelessStation] = {}
+        self._hosts: Dict[NodeId, WirelessHost] = {}
+        # Per-cell medium: the time until which the cell is transmitting.
+        self._medium_busy_until: Dict[CellId, float] = {}
+
+    def _airtime(self, cell: CellId, message: Message) -> float:
+        """Queueing + serialization delay on the cell's shared medium."""
+        if self.bandwidth_bps is None:
+            return 0.0
+        serialization = message.size_bytes() * 8.0 / self.bandwidth_bps
+        start = max(self.sim.now, self._medium_busy_until.get(cell, 0.0))
+        finish = start + serialization
+        self._medium_busy_until[cell] = finish
+        return finish - self.sim.now
+
+    def register_station(self, station: WirelessStation) -> None:
+        self._stations[station.cell_id] = station
+
+    def register_host(self, host: WirelessHost) -> None:
+        self._hosts[host.node_id] = host
+
+    def station_of(self, cell: CellId) -> WirelessStation:
+        try:
+            return self._stations[cell]
+        except KeyError:
+            raise UnknownNodeError(f"no station registered for cell {cell!r}") from None
+
+    def host(self, host_id: NodeId) -> WirelessHost:
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise UnknownNodeError(f"unknown mobile host {host_id!r}") from None
+
+    def _lost(self) -> bool:
+        return self.loss_probability > 0 and self.rng.random() < self.loss_probability
+
+    def downlink(self, station: WirelessStation, host_id: NodeId, message: Message) -> None:
+        """One transmission attempt from *station* to *host_id*.
+
+        The station fires and forgets; the paper's respMss never retries —
+        recovery is the proxy's job (Section 3.1).
+        """
+        host = self.host(host_id)
+        message.src = station.node_id
+        message.dst = host_id
+        self.monitor.on_send(self.name, message)
+        self.recorder.record(
+            self.sim.now, "send", station.node_id,
+            net=self.name, msg=message.kind, msg_id=message.msg_id, dst=host_id,
+            detail=message.describe(),
+        )
+        delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
+                                                              message)
+        self.sim.schedule(delay, self._deliver_downlink, station, host, message,
+                          label=f"wl-down:{message.kind}")
+
+    def _deliver_downlink(self, station: WirelessStation, host: WirelessHost,
+                          message: Message) -> None:
+        if host.state is not MhState.ACTIVE:
+            self._drop(message, "inactive")
+            return
+        if host.current_cell != station.cell_id:
+            self._drop(message, "not_in_cell")
+            return
+        if self._lost():
+            self._drop(message, "loss")
+            return
+        self.monitor.on_deliver(self.name, message)
+        self.recorder.record(
+            self.sim.now, "recv", host.node_id,
+            net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
+            detail=message.describe(),
+        )
+        host.on_wireless_message(message)
+
+    def uplink(self, host: WirelessHost, message: Message) -> None:
+        """Transmit from *host* to the station of its current cell."""
+        if host.state is not MhState.ACTIVE and host.state is not MhState.MIGRATING:
+            raise NetworkError(f"{host.node_id} cannot transmit while {host.state}")
+        if host.current_cell is None:
+            raise NetworkError(f"{host.node_id} is not in any cell")
+        station = self.station_of(host.current_cell)
+        message.src = host.node_id
+        message.dst = station.node_id
+        self.monitor.on_send(self.name, message)
+        self.recorder.record(
+            self.sim.now, "send", host.node_id,
+            net=self.name, msg=message.kind, msg_id=message.msg_id, dst=station.node_id,
+            detail=message.describe(),
+        )
+        delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
+                                                              message)
+        self.sim.schedule(delay, self._deliver_uplink, station, message,
+                          label=f"wl-up:{message.kind}")
+
+    def _deliver_uplink(self, station: WirelessStation, message: Message) -> None:
+        if self._lost():
+            self._drop(message, "loss")
+            return
+        self.monitor.on_deliver(self.name, message)
+        self.recorder.record(
+            self.sim.now, "recv", station.node_id,
+            net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
+            detail=message.describe(),
+        )
+        station.on_wireless_message(message)
+
+    def _drop(self, message: Message, reason: str) -> None:
+        self.monitor.on_drop(self.name, message, reason)
+        self.recorder.record(
+            self.sim.now, "drop", message.dst or "?",
+            net=self.name, msg=message.kind, msg_id=message.msg_id, reason=reason,
+        )

@@ -1,0 +1,98 @@
+"""Canned world configurations.
+
+Ready-made :class:`~repro.config.WorldConfig` builders for the setups
+that recur across the paper's experiments, the examples and downstream
+use.  Each returns a fresh config (mutate freely via
+``dataclasses.replace``).
+"""
+
+from __future__ import annotations
+
+from .config import LatencySpec, WorldConfig
+
+
+def paper_default(n_cells: int = 3, seed: int = 0) -> WorldConfig:
+    """The setup of the paper's figures: a handful of cells, reliable
+    radio, constant latencies, causal wired order."""
+    return WorldConfig(
+        seed=seed,
+        n_cells=n_cells,
+        topology="line",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+    )
+
+
+def city_grid(width: int = 4, height: int = 4, seed: int = 0) -> WorldConfig:
+    """A SIDAM-style city: grid of cells, jittery wired core, slightly
+    lossy radio."""
+    return WorldConfig(
+        seed=seed,
+        topology="grid",
+        grid_width=width,
+        grid_height=height,
+        wired_latency=LatencySpec(kind="exponential", mean=0.012),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.01,
+    )
+
+
+def lossy_field_trial(n_cells: int = 6, seed: int = 0) -> WorldConfig:
+    """The AN1 regime: ring of cells, 5% radio loss, exponential wired
+    latency — the environment RDP's reliability claims target."""
+    return WorldConfig(
+        seed=seed,
+        n_cells=n_cells,
+        topology="ring",
+        wired_latency=LatencySpec(kind="exponential", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.05,
+    )
+
+
+def narrowband(n_cells: int = 4, bandwidth_bps: float = 64_000,
+               seed: int = 0) -> WorldConfig:
+    """Early-cellular conditions: a shared 64 kbps medium per cell."""
+    return WorldConfig(
+        seed=seed,
+        n_cells=n_cells,
+        topology="ring",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.008),
+        wireless_bandwidth_bps=bandwidth_bps,
+    )
+
+
+def metro_area(n_cells: int = 12, seed: int = 0) -> WorldConfig:
+    """A long line of cells with distance-proportional wired latency and
+    the proxy-migration extension armed — the AN11/AN12 geography."""
+    return WorldConfig(
+        seed=seed,
+        n_cells=n_cells,
+        topology="line",
+        wired_latency=LatencySpec(kind="constant", mean=0.002),
+        wireless_latency=LatencySpec(kind="constant", mean=0.003),
+        wired_distance_delay=0.010,
+        proxy_migrate_distance=3.0,
+    )
+
+
+def everything_on(seed: int = 0) -> WorldConfig:
+    """The kitchen sink: every optional mechanism enabled at once —
+    queueing MSSs, lossy narrowband radio, retention, proxy migration,
+    distance latency.  Used by the soak test."""
+    return WorldConfig(
+        seed=seed,
+        topology="grid",
+        grid_width=4,
+        grid_height=4,
+        wired_latency=LatencySpec(kind="exponential", mean=0.008),
+        wireless_latency=LatencySpec(kind="uniform", mean=0.006, spread=0.004),
+        wireless_loss=0.03,
+        wireless_bandwidth_bps=512_000,
+        wired_distance_delay=0.004,
+        proc_delay=0.002,
+        ack_delay=0.004,
+        retain_results=True,
+        proxy_migrate_distance=2.5,
+    )

@@ -1,0 +1,168 @@
+"""Electronic mail for portable computers.
+
+The paper expects its model to adapt "to a variety of applications,
+ranging from support systems for strategical actions to electronic mail
+systems for portable computers" (Section 1).  This module is that mail
+system, built entirely on RDP primitives:
+
+* **send**: a request whose result is the delivery receipt — composable
+  offline through :class:`~repro.hosts.qrpc.QueuedRpcClient`;
+* **inbox push**: each user holds an *inbox subscription*; arriving mail
+  is pushed as a notification through the user's proxy, so it reliably
+  chases the user across cells and sleep;
+* **fetch/ack**: stored mail can also be listed and deleted explicitly
+  (for users who joined the push channel late).
+
+Request payloads understood by the server:
+
+* ``{"subscribe": True, "user": u}``              — open u's inbox push
+* ``{"op": "send", "to": u, "from": f, "subject": s, "body": b}``
+* ``{"op": "list", "user": u}``                    — stored mail headers
+* ``{"op": "fetch", "user": u, "mail_id": i}``
+* ``{"op": "delete", "user": u, "mail_id": i}``
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.protocol import ServerRequestMsg
+from ..types import RequestId
+from .base import AppServer
+from .subscription import SubscriptionRegistry
+
+_mail_ids = itertools.count(1)
+
+
+@dataclass
+class StoredMail:
+    """One message in a mailbox."""
+
+    mail_id: int
+    sender: str
+    subject: str
+    body: Any = None
+    sent_at: float = 0.0
+    pushed: bool = False
+
+    def header(self) -> Dict[str, Any]:
+        return {"mail_id": self.mail_id, "from": self.sender,
+                "subject": self.subject, "sent_at": self.sent_at}
+
+    def full(self) -> Dict[str, Any]:
+        payload = self.header()
+        payload["body"] = self.body
+        return payload
+
+
+@dataclass
+class Mailbox:
+    """One user's stored mail plus the push-subscription binding."""
+
+    user: str
+    mail: Dict[int, StoredMail] = field(default_factory=dict)
+    push_subscription: Optional[RequestId] = None
+
+
+class MailServer(AppServer):
+    """Store-and-push mail over RDP."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.subs = SubscriptionRegistry(self.node_id, self.wired)
+        self.mailboxes: Dict[str, Mailbox] = {}
+
+    def _mailbox(self, user: str) -> Mailbox:
+        if user not in self.mailboxes:
+            self.mailboxes[user] = Mailbox(user=user)
+        return self.mailboxes[user]
+
+    def _complete(self, message: ServerRequestMsg) -> None:
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        if payload.get("subscribe") is True:
+            self._op_subscribe(message, payload)
+            return
+        op = payload.get("op")
+        handler = {
+            "send": self._op_send,
+            "list": self._op_list,
+            "fetch": self._op_fetch,
+            "delete": self._op_delete,
+        }.get(op)
+        if handler is None:
+            self.reply(message, {"error": f"unknown mail operation {op!r}"})
+            return
+        handler(message, payload)
+
+    # -- operations ---------------------------------------------------------
+
+    def _op_subscribe(self, message: ServerRequestMsg,
+                      payload: Dict[str, Any]) -> None:
+        user = str(payload.get("user", ""))
+        assert message.reply_to is not None
+        mailbox = self._mailbox(user)
+        if mailbox.push_subscription is not None:
+            # Replacing a previous device/session: close the old channel.
+            self.subs.close(mailbox.push_subscription, {"replaced": True})
+        self.subs.open(message.request_id, message.reply_to, {"user": user})
+        mailbox.push_subscription = message.request_id
+        self.instr.metrics.incr("mail_inbox_subscriptions", node=self.node_id)
+        # Backlog: push everything that arrived before the user connected.
+        for stored in sorted(mailbox.mail.values(), key=lambda m: m.mail_id):
+            if not stored.pushed:
+                stored.pushed = True
+                self.subs.notify(message.request_id, stored.full())
+
+    def _op_send(self, message: ServerRequestMsg,
+                 payload: Dict[str, Any]) -> None:
+        to = str(payload.get("to", ""))
+        mailbox = self._mailbox(to)
+        stored = StoredMail(
+            mail_id=next(_mail_ids),
+            sender=str(payload.get("from", "?")),
+            subject=str(payload.get("subject", "")),
+            body=payload.get("body"),
+            sent_at=self.sim.now,
+        )
+        mailbox.mail[stored.mail_id] = stored
+        self.instr.metrics.incr("mail_accepted", node=self.node_id)
+        if mailbox.push_subscription is not None:
+            stored.pushed = True
+            self.subs.notify(mailbox.push_subscription, stored.full())
+        self.reply(message, {"ok": True, "mail_id": stored.mail_id,
+                             "pushed": stored.pushed})
+
+    def _op_list(self, message: ServerRequestMsg,
+                 payload: Dict[str, Any]) -> None:
+        mailbox = self._mailbox(str(payload.get("user", "")))
+        headers = [m.header() for m in
+                   sorted(mailbox.mail.values(), key=lambda m: m.mail_id)]
+        self.reply(message, {"ok": True, "mail": headers})
+
+    def _op_fetch(self, message: ServerRequestMsg,
+                  payload: Dict[str, Any]) -> None:
+        mailbox = self._mailbox(str(payload.get("user", "")))
+        stored = mailbox.mail.get(int(payload.get("mail_id", 0)))
+        if stored is None:
+            self.reply(message, {"error": "no such mail"})
+            return
+        self.reply(message, {"ok": True, "mail": stored.full()})
+
+    def _op_delete(self, message: ServerRequestMsg,
+                   payload: Dict[str, Any]) -> None:
+        mailbox = self._mailbox(str(payload.get("user", "")))
+        removed = mailbox.mail.pop(int(payload.get("mail_id", 0)), None)
+        self.reply(message, {"ok": removed is not None})
+
+    # -- server-side management ----------------------------------------------
+
+    def close_inbox(self, user: str) -> bool:
+        """End a user's push channel (e.g. log-out)."""
+        mailbox = self.mailboxes.get(user)
+        if mailbox is None or mailbox.push_subscription is None:
+            return False
+        closed = self.subs.close(mailbox.push_subscription, {"logout": True})
+        mailbox.push_subscription = None
+        return closed

@@ -1,0 +1,82 @@
+"""Group multicast service.
+
+The paper's system offers a ``multicast`` operation (Section 1: "the user
+provides ... the identification of a group of users ... and a message to
+be sent to the group"; Figure 1 shows ``mcast(1,4,5)``).  RDP itself
+transports the deliveries: each member holds an open *membership
+subscription* whose proxy stays alive, and every multicast becomes one
+reliable notification per member.
+
+Request payloads understood by the server:
+
+* ``{"subscribe": True, "group": g}``   — join group *g* (the request stays
+  pending; the first notification confirms membership)
+* ``{"op": "mcast", "group": g, "data": d}`` — send *d* to every member;
+  the sender gets a delivery report as its result
+* ``{"op": "leave", "group": g, "member": request_id}`` — close the given
+  membership subscription
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Set
+
+from ..core.protocol import ServerRequestMsg
+from ..types import RequestId
+from .base import AppServer
+from .subscription import SubscriptionRegistry
+
+
+class GroupServer(AppServer):
+    """Membership plus reliable fan-out via member proxies."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.subs = SubscriptionRegistry(self.node_id, self.wired)
+        self.groups: Dict[str, Set[RequestId]] = {}
+        self.mcasts_sent = 0
+
+    def _complete(self, message: ServerRequestMsg) -> None:
+        payload = message.payload if isinstance(message.payload, dict) else {}
+        if payload.get("subscribe") is True:
+            self._join(message, payload)
+            return
+        op = payload.get("op")
+        if op == "mcast":
+            self._mcast(message, payload)
+        elif op == "leave":
+            self._leave(message, payload)
+        else:
+            self.reply(message, {"error": f"unknown group operation {op!r}"})
+
+    def _join(self, message: ServerRequestMsg, payload: Dict[str, Any]) -> None:
+        group = str(payload.get("group", "default"))
+        assert message.reply_to is not None
+        self.subs.open(message.request_id, message.reply_to, params={"group": group})
+        self.groups.setdefault(group, set()).add(message.request_id)
+        self.instr.metrics.incr("group_joins", node=self.node_id)
+        # Confirmation rides the subscription as its first notification.
+        self.subs.notify(message.request_id, {"joined": group})
+
+    def _mcast(self, message: ServerRequestMsg, payload: Dict[str, Any]) -> None:
+        group = str(payload.get("group", "default"))
+        data = payload.get("data")
+        members = self.groups.get(group, set())
+        delivered = 0
+        for member_id in sorted(members):
+            if self.subs.notify(member_id, {"group": group, "data": data,
+                                            "from": str(message.request_id)}):
+                delivered += 1
+        self.mcasts_sent += 1
+        self.instr.metrics.incr("group_mcasts", node=self.node_id)
+        self.reply(message, {"ok": True, "group": group, "members": delivered})
+
+    def _leave(self, message: ServerRequestMsg, payload: Dict[str, Any]) -> None:
+        group = str(payload.get("group", "default"))
+        member = RequestId(str(payload.get("member", "")))
+        members = self.groups.get(group, set())
+        left = member in members
+        if left:
+            members.discard(member)
+            self.subs.close(member, {"left": group})
+        self.reply(message, {"ok": left, "group": group})

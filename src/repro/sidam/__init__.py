@@ -1,0 +1,15 @@
+"""SIDAM: the paper's motivating traffic-information application."""
+
+from .city import CityModel
+from .traffic import StaffReporter, SyntheticTraffic, clamp_level
+from .workload import CitizenWorkload, WorkloadStats, open_home_subscription
+
+__all__ = [
+    "CitizenWorkload",
+    "CityModel",
+    "StaffReporter",
+    "SyntheticTraffic",
+    "WorkloadStats",
+    "clamp_level",
+    "open_home_subscription",
+]

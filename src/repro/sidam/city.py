@@ -1,0 +1,76 @@
+"""The SIDAM city model.
+
+The paper's motivating application is an on-line traffic information
+service for a city like São Paulo (Section 1).  A :class:`CityModel` ties
+together the radio cells, the traffic *regions* citizens ask about, and
+the partition of regions across Traffic Information Servers.
+
+By default each radio cell covers exactly one region (cells are
+"some kilometers" across, Section 5) and regions are partitioned across
+TIS servers in contiguous blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..mobility.cellmap import CellMap
+from ..types import CellId
+
+
+class CityModel:
+    """Cells, regions, and the region -> TIS-server partition."""
+
+    def __init__(self, cell_map: CellMap, n_servers: int,
+                 regions_per_cell: int = 1) -> None:
+        if n_servers < 1:
+            raise ConfigError("need at least one TIS server")
+        if regions_per_cell < 1:
+            raise ConfigError("need at least one region per cell")
+        self.cell_map = cell_map
+        self.n_servers = n_servers
+        self.regions_per_cell = regions_per_cell
+
+        self.regions: List[str] = []
+        self.cell_regions: Dict[CellId, List[str]] = {}
+        for cell in cell_map.cells:
+            names = [f"{cell}/r{i}" for i in range(regions_per_cell)]
+            self.cell_regions[cell] = names
+            self.regions.extend(names)
+
+        self.partitions: Dict[str, List[str]] = {
+            f"tis{i}": [] for i in range(n_servers)
+        }
+        block = max(1, (len(self.regions) + n_servers - 1) // n_servers)
+        for index, region in enumerate(self.regions):
+            server = f"tis{min(index // block, n_servers - 1)}"
+            self.partitions[server].append(region)
+
+    def server_names(self) -> List[str]:
+        return sorted(self.partitions)
+
+    def overlay_edges(self) -> List[Tuple[str, str]]:
+        """A line overlay across the TIS servers (simple, deterministic)."""
+        names = self.server_names()
+        return list(zip(names, names[1:]))
+
+    def regions_of(self, cell: CellId) -> List[str]:
+        try:
+            return self.cell_regions[cell]
+        except KeyError:
+            raise ConfigError(f"unknown cell {cell!r}") from None
+
+    def local_region(self, cell: CellId) -> str:
+        """The first (canonical) region of a cell."""
+        return self.regions_of(cell)[0]
+
+    def pick_region(self, rng, cell: CellId, locality: float = 0.7) -> str:
+        """A region to query: the local one with probability ``locality``,
+        otherwise uniform over the city — the paper's 'locality of
+        updates' assumption."""
+        if not 0.0 <= locality <= 1.0:
+            raise ConfigError(f"locality must be a probability, got {locality}")
+        if rng.random() < locality:
+            return self.local_region(cell)
+        return rng.choice(self.regions)

@@ -1,0 +1,89 @@
+"""Traffic state evolution and staff reporters.
+
+Two feeds update the information base, mirroring the paper's two user
+classes (Section 1):
+
+* :class:`SyntheticTraffic` — a background process evolving every
+  region's congestion level with a bounded random walk, applied directly
+  at the owning TIS server (stand-in for the bulk of sensor input);
+* :class:`StaffReporter` — a Traffic Engineering Company staff member in
+  a car or helicopter: a *mobile host* that periodically issues ``update``
+  requests for the region of its current cell through RDP.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..hosts.api import RdpClient
+from ..servers.tis_network import TisNetwork
+from ..sim import PeriodicProcess, Simulator
+from ..types import MhState
+from .city import CityModel
+
+LEVEL_MIN = 0.0
+LEVEL_MAX = 10.0
+
+
+def clamp_level(value: float) -> float:
+    return max(LEVEL_MIN, min(LEVEL_MAX, value))
+
+
+class SyntheticTraffic:
+    """Bounded random walk over every region's congestion level."""
+
+    def __init__(self, sim: Simulator, tis: TisNetwork, rng: random.Random,
+                 period: float = 5.0, step: float = 1.5) -> None:
+        self.sim = sim
+        self.tis = tis
+        self.rng = rng
+        self.step = step
+        self.updates_applied = 0
+        self._process = PeriodicProcess(sim, self._tick, lambda: period,
+                                        label="traffic:evolve")
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _tick(self) -> None:
+        for region in self.tis.regions():
+            current = self.tis.level_of(region)
+            delta = self.rng.uniform(-self.step, self.step)
+            self.tis.apply_external_update(region, clamp_level(current + delta))
+            self.updates_applied += 1
+
+
+class StaffReporter:
+    """A mobile staff member feeding observations for the local region."""
+
+    def __init__(self, sim: Simulator, client: RdpClient, city: CityModel,
+                 rng: random.Random, service: str = "tis",
+                 period: float = 10.0) -> None:
+        self.sim = sim
+        self.client = client
+        self.city = city
+        self.rng = rng
+        self.service = service
+        self.reports_sent = 0
+        self._process = PeriodicProcess(sim, self._report, lambda: period,
+                                        label="traffic:staff")
+
+    def start(self) -> None:
+        self._process.start()
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    def _report(self) -> None:
+        host = self.client.host
+        if host.state is not MhState.ACTIVE or host.current_cell is None:
+            return
+        region = self.city.local_region(host.current_cell)
+        level = clamp_level(self.rng.uniform(LEVEL_MIN, LEVEL_MAX))
+        self.client.request(self.service, {
+            "op": "update", "region": region, "level": level,
+        })
+        self.reports_sent += 1

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation kernel.
+
+Public entry points:
+
+* :class:`Simulator` — the event loop
+* :class:`Event` — a scheduled callback (returned by ``schedule``)
+* :class:`Timer`, :class:`PeriodicProcess` — timing helpers
+* :class:`RngStreams` — named reproducible random streams
+* :class:`TraceRecorder`, :class:`TraceRecord` — structured tracing
+"""
+
+from .event import Event
+from .process import PeriodicProcess, Timer
+from .rng import RngStreams
+from .simulator import Simulator
+from .tracing import TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "PeriodicProcess",
+    "RngStreams",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "TraceRecorder",
+]

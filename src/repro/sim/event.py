@@ -1,0 +1,38 @@
+"""Event objects for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+_event_counter = itertools.count()
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Events are totally ordered by ``(time, seq)``: ties on simulated time
+    are broken by scheduling order so that runs are fully deterministic.
+    """
+
+    time: float
+    seq: int = field(default_factory=lambda: next(_event_counter))
+    callback: Callable[..., Any] = field(compare=False, default=lambda: None)
+    args: tuple = field(compare=False, default=())
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (the simulator calls this; tests may too)."""
+        self.callback(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = self.label or getattr(self.callback, "__name__", "<fn>")
+        return f"<Event t={self.time:.6f} #{self.seq} {name}{state}>"

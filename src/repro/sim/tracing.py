@@ -1,0 +1,100 @@
+"""Structured trace recording.
+
+Protocol entities emit :class:`TraceRecord` rows through a shared
+:class:`TraceRecorder`.  The analysis layer consumes traces to extract
+message-sequence charts (Figures 3 and 4 of the paper) and to verify
+protocol invariants (delivery semantics, causal ordering, proxy
+uniqueness).
+
+Record kinds used by the library:
+
+* ``send`` / ``recv`` / ``drop`` — message life-cycle on a network
+* ``deliver`` — a result handed to the mobile-host application
+* ``proxy_create`` / ``proxy_delete`` — proxy life-cycle
+* ``handoff_start`` / ``handoff_done`` — hand-off protocol
+* ``migrate`` / ``activate`` / ``deactivate`` — mobile host state
+* ``retransmit`` — a proxy re-sent a stored result
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One structured trace row."""
+
+    time: float
+    kind: str
+    node: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.fields.get(key, default)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kv = " ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        return f"[{self.time:10.4f}] {self.kind:<14} {self.node:<10} {kv}"
+
+
+class TraceRecorder:
+    """Collects trace records; optionally filters by kind.
+
+    Recording everything in large sweeps is wasteful, so a recorder can be
+    created with ``enabled=False`` (records nothing, counters still work)
+    or with a ``kinds`` whitelist.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        kinds: Optional[Iterable[str]] = None,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ) -> None:
+        self.enabled = enabled
+        self._kinds = set(kinds) if kinds is not None else None
+        self._records: List[TraceRecord] = []
+        self._sink = sink
+        self.counts: Dict[str, int] = {}
+
+    def record(self, time: float, kind: str, node: str, **fields: Any) -> None:
+        """Record one row (cheap no-op when disabled or filtered out)."""
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if not self.enabled:
+            return
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        rec = TraceRecord(time=time, kind=kind, node=node, fields=dict(fields))
+        self._records.append(rec)
+        if self._sink is not None:
+            self._sink(rec)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        return self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, kind: Optional[str] = None, node: Optional[str] = None,
+               **field_filters: Any) -> List[TraceRecord]:
+        """Return records matching all given criteria."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if any(rec.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.counts.clear()

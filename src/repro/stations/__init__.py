@@ -1,0 +1,14 @@
+"""Mobile Support Stations: registration, hand-off, pref table, inbox."""
+
+from .inbox import Inbox, default_priority
+from .mss import MobileSupportStation, MssConfig
+from .pref import Pref, PrefTable
+
+__all__ = [
+    "Inbox",
+    "MobileSupportStation",
+    "MssConfig",
+    "Pref",
+    "PrefTable",
+    "default_priority",
+]

@@ -1,0 +1,72 @@
+"""The proxy-reference (*pref*) table kept by each MSS.
+
+Per the paper (Section 3.1) a pref holds the address of the MH's current
+proxy (or null when the MH has no pending requests) plus the
+*Ready-to-Kill-pref* (RKpR) flag.  We additionally track, locally, the set
+of results this MSS has forwarded to the MH and not yet seen acknowledged
+(``outstanding``): the paper's proxy-removal condition is "RKpR is true
+and for all of MH's requests the corresponding Ack has been received",
+and ``outstanding`` is exactly the respMss's view of that condition.
+``outstanding`` is *not* part of the hand-off payload — after a migration
+the proxy re-sends unacknowledged results to the new MSS, which rebuilds
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..types import NodeId, ProxyRef, RequestId
+
+
+@dataclass
+class Pref:
+    """One MH's proxy reference at its current respMss."""
+
+    ref: Optional[ProxyRef] = None
+    rkpr: bool = False
+    outstanding: Set[RequestId] = field(default_factory=set)
+    creating: bool = False  # a remote proxy creation is in flight
+
+    @property
+    def has_proxy(self) -> bool:
+        return self.ref is not None
+
+    def clear_proxy(self) -> None:
+        """Null the address and drop flags (the proxy is being removed)."""
+        self.ref = None
+        self.rkpr = False
+        self.outstanding.clear()
+
+
+class PrefTable:
+    """All prefs held by one MSS, keyed by mobile-host id."""
+
+    def __init__(self) -> None:
+        self._prefs: Dict[NodeId, Pref] = {}
+
+    def ensure(self, mh: NodeId) -> Pref:
+        """Return the pref for *mh*, creating an empty one if needed."""
+        if mh not in self._prefs:
+            self._prefs[mh] = Pref()
+        return self._prefs[mh]
+
+    def get(self, mh: NodeId) -> Optional[Pref]:
+        return self._prefs.get(mh)
+
+    def pop(self, mh: NodeId) -> Pref:
+        """Remove and return *mh*'s pref (empty pref when absent)."""
+        return self._prefs.pop(mh, Pref())
+
+    def install(self, mh: NodeId, ref: Optional[ProxyRef], rkpr: bool) -> Pref:
+        """Install a pref received through hand-off (outstanding starts empty)."""
+        pref = Pref(ref=ref, rkpr=rkpr)
+        self._prefs[mh] = pref
+        return pref
+
+    def __contains__(self, mh: NodeId) -> bool:
+        return mh in self._prefs
+
+    def __len__(self) -> int:
+        return len(self._prefs)

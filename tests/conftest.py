@@ -1,0 +1,31 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import World, WorldConfig
+from repro.config import LatencySpec
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+def make_world(**overrides) -> World:
+    """A small deterministic world: 3 cells in a line, constant latencies."""
+    defaults = dict(
+        n_cells=3,
+        topology="line",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+    )
+    defaults.update(overrides)
+    return World(WorldConfig(**defaults))
+
+
+@pytest.fixture
+def world() -> World:
+    return make_world()

@@ -1,0 +1,29 @@
+"""Shape tests for AN13 (MSS crash injection)."""
+
+from __future__ import annotations
+
+from repro.experiments.an13_mss_failures import run_failures
+
+
+def test_no_crashes_full_delivery():
+    r = run_failures(None, client_retry=False, n_hosts=4, duration=150.0)
+    assert r.crashes == 0
+    assert r.delivery_ratio == 1.0
+    assert r.nacks == 0
+
+
+def test_crashes_with_retry_recover():
+    r = run_failures(30.0, client_retry=True, n_hosts=4, duration=150.0,
+                     seed=1)
+    assert r.crashes > 0
+    assert r.nacks > 0
+    assert r.delivery_ratio > 0.95
+
+
+def test_crashes_without_retry_lose_some():
+    with_retry = run_failures(20.0, client_retry=True, n_hosts=5,
+                              duration=200.0, seed=2)
+    without = run_failures(20.0, client_retry=False, n_hosts=5,
+                           duration=200.0, seed=2)
+    assert with_retry.delivery_ratio >= without.delivery_ratio
+    assert with_retry.delivery_ratio > 0.9

@@ -1,0 +1,46 @@
+"""Tests for the experiment CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import DESCRIPTIONS, EXPERIMENTS, main
+
+
+def test_every_experiment_has_a_description():
+    assert set(EXPERIMENTS) == set(DESCRIPTIONS)
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for exp_id in EXPERIMENTS:
+        assert exp_id in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "an4"]) == 0
+    out = capsys.readouterr().out
+    assert "AN4" in out
+    assert "regenerated" in out
+
+
+def test_run_writes_output_files(tmp_path, capsys):
+    assert main(["run", "fig4", "--out", str(tmp_path)]) == 0
+    written = tmp_path / "fig4.txt"
+    assert written.exists()
+    assert "del-pref" in written.read_text()
+
+
+def test_unknown_id_fails(capsys):
+    assert main(["run", "an99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_report_subcommand(tmp_path, capsys):
+    out = tmp_path / "mini.md"
+    assert main(["report", "fig3", "an4", "--out", str(out)]) == 0
+    body = out.read_text()
+    assert body.startswith("# RDP reproduction report")
+    assert "## fig3" in body and "## an4" in body
+    assert "FIG3" in body and "AN4" in body

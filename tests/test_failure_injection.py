@@ -1,0 +1,106 @@
+"""MSS crash/restart exploration.
+
+The paper assumes MSSs never fail (assumption 2).  These tests break
+that assumption on purpose and check what the recovery extensions
+(registration nacks, proxy-gone bounces, client retries) can absorb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.servers.echo import EchoServer, ManualServer
+
+from tests.conftest import make_world
+
+
+def test_crash_loses_registration_and_nack_recovers():
+    world = make_world()
+    world.add_server("echo")
+    client = world.add_host("m", world.cells[0], retry_interval=2.0)
+    host = world.hosts["m"]
+    world.run(until=1.0)
+    assert host.registered
+
+    station = world.station(world.cells[0])
+    station.crash_and_restart()
+    assert host.node_id not in station.local_mhs
+    assert host.registered  # the MH has no idea yet
+
+    # The next request is dropped, nacked, re-registered, retried, served.
+    p = client.request("echo", "after-crash")
+    world.run(until=20.0)
+    assert p.done and p.result == "after-crash"
+    assert world.metrics.count("registration_nacks") >= 1
+    assert world.metrics.count("mh_reregistrations") >= 1
+    assert host.node_id in station.local_mhs
+    world.run_until_idle()
+
+
+def test_crash_of_proxy_host_recovered_by_retry():
+    """The proxy (and its pending request) dies with its MSS; the client
+    retry builds a fresh proxy and the request completes."""
+    world = make_world()
+    server = world.add_server("manual", ManualServer)
+    client = world.add_host("m", world.cells[0], retry_interval=3.0)
+    host = world.hosts["m"]
+    p = client.request("manual", "x")
+    world.run(until=1.0)
+    # Move away so the proxy (at s0) and the respMss (s1) differ.
+    host.migrate_to(world.cells[1])
+    world.run(until=2.0)
+    world.station(world.cells[0]).crash_and_restart()
+    # The original server-side work still answers, but to a dead proxy.
+    server.release(p.request_id, "lost")
+    world.run(until=30.0)
+    # A retry re-drove the request through proxy-gone recovery: the
+    # dangling pref was cleared, a fresh proxy re-issued the request, and
+    # it is waiting at the (manual) server again.
+    assert world.metrics.count("stale_proxy_messages") >= 1
+    assert world.metrics.count("prefs_cleared_dangling") >= 1
+    assert p.request_id in server.held
+    server.release(p.request_id, "recovered")
+    world.run(until=60.0)
+    assert p.done and p.result == "recovered"
+
+
+def test_crash_respmss_with_colocated_proxy():
+    world = make_world()
+    server = world.add_server("manual", ManualServer)
+    client = world.add_host("m", world.cells[0], retry_interval=3.0)
+    p = client.request("manual", "y")
+    world.run(until=1.0)
+    world.station(world.cells[0]).crash_and_restart()
+    world.run(until=30.0)
+    server.release(p.request_id, "answer")
+    world.run(until=60.0)
+    assert p.done
+    world.run_until_idle()
+
+
+def test_unaffected_hosts_keep_working_through_peer_crash():
+    world = make_world()
+    world.add_server("echo")
+    a = world.add_host("a", world.cells[0], retry_interval=2.0)
+    b = world.add_host("b", world.cells[2], retry_interval=2.0)
+    world.run(until=1.0)
+    world.station(world.cells[0]).crash_and_restart()
+    pa = a.request("echo", 1)
+    pb = b.request("echo", 2)
+    world.run(until=20.0)
+    assert pa.done and pb.done
+    world.run_until_idle()
+
+
+def test_nack_not_sent_during_legitimate_handoff():
+    """The nack must not fire for the transient unknown-MH window of a
+    normal hand-off (the registration is already on its way)."""
+    world = make_world()
+    world.add_server("slow", EchoServer, service_time=ConstantLatency(2.0))
+    client = world.add_host("m", world.cells[0])
+    host = world.hosts["m"]
+    world.sim.schedule(0.1, client.request, "slow", 1)
+    world.sim.schedule(0.5, host.migrate_to, world.cells[1])
+    world.run_until_idle()
+    assert world.metrics.count("registration_nacks") == 0

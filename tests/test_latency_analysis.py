@@ -1,0 +1,88 @@
+"""Tests for the latency decomposition module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import (
+    LatencyBreakdown,
+    extract_breakdowns,
+    latency_report,
+)
+from repro.net.latency import ConstantLatency
+from repro.servers.echo import EchoServer, ManualServer
+
+from tests.conftest import make_world
+
+
+def test_breakdown_segments_add_up(world):
+    world.add_server("slow", EchoServer, service_time=ConstantLatency(0.5))
+    client = world.add_host("m", world.cells[0])
+    world.run(until=0.5)
+    p = client.request("slow", 1)
+    world.run_until_idle()
+    breakdowns = [b for b in extract_breakdowns(world) if b.complete]
+    assert len(breakdowns) == 1
+    b = breakdowns[0]
+    assert b.total == pytest.approx(
+        b.admission_time + b.service_time + b.delivery_time)
+    assert b.service_time == pytest.approx(0.5, abs=0.05)
+    assert b.total == pytest.approx(p.latency, abs=1e-9)
+
+
+def test_breakdown_local_proxy_forward_counted(world):
+    """Co-located proxy: the forward is a local dispatch, still traced."""
+    world.add_server("echo")
+    client = world.add_host("m", world.cells[0])
+    world.run(until=0.5)
+    client.request("echo", 1)
+    world.run_until_idle()
+    assert all(b.complete for b in extract_breakdowns(world))
+
+
+def test_breakdown_delivery_absorbs_inactivity(world):
+    server = world.add_server("manual", ManualServer)
+    client = world.add_host("m", world.cells[0])
+    host = world.hosts["m"]
+    world.run(until=0.5)
+    p = client.request("manual", 1)
+    world.run(until=1.0)
+    host.deactivate()
+    server.release(p.request_id)
+    world.run(until=5.0)
+    host.activate()
+    world.run_until_idle()
+    (b,) = [b for b in extract_breakdowns(world) if b.complete]
+    assert b.delivery_time > 3.0          # waited out the nap
+    assert b.service_time < 1.0
+
+
+def test_incomplete_requests_excluded_from_report(world):
+    world.add_server("manual", ManualServer)
+    client = world.add_host("m", world.cells[0])
+    world.run(until=0.5)
+    client.request("manual", 1)           # never answered
+    world.run(until=1.0)
+    report = latency_report(world)
+    assert report.count == 0
+
+
+def test_report_renders(world):
+    world.add_server("echo")
+    client = world.add_host("m", world.cells[0])
+    world.run(until=0.5)
+    client.request("echo", 1)
+    client.request("echo", 2)
+    world.run_until_idle()
+    report = latency_report(world)
+    assert report.count == 2
+    text = report.render()
+    assert "delivery" in text and "n=2" in text
+
+
+def test_breakdown_dataclass_defaults():
+    b = LatencyBreakdown(request_id="r", issued_at=1.0, admitted_at=None,
+                         result_at_proxy=None, delivered_at=None)
+    assert not b.complete
+    assert b.total == 0.0
+    assert b.service_time == 0.0

@@ -1,0 +1,153 @@
+"""Tests for the RDP-backed mail application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hosts.qrpc import QueuedRpcClient
+from repro.servers.mail import MailServer
+
+from tests.conftest import make_world
+
+
+@pytest.fixture
+def mail_world(world):
+    server = world.add_server("mail", MailServer)
+    return world, server
+
+
+def test_send_and_push_to_connected_user(mail_world):
+    world, server = mail_world
+    alice = world.add_host("alice", world.cells[0])
+    bob = world.add_host("bob", world.cells[1])
+    inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+    p = alice.request("mail", {"op": "send", "to": "bob", "from": "alice",
+                               "subject": "hi", "body": "lunch?"})
+    world.run(until=2.0)
+    assert p.done and p.result["ok"] and p.result["pushed"]
+    assert len(inbox.notifications) == 1
+    assert inbox.notifications[0]["subject"] == "hi"
+    assert inbox.notifications[0]["body"] == "lunch?"
+
+
+def test_backlog_pushed_on_late_subscribe(mail_world):
+    world, server = mail_world
+    alice = world.add_host("alice", world.cells[0])
+    for i in range(3):
+        alice.request("mail", {"op": "send", "to": "bob", "from": "alice",
+                               "subject": f"s{i}"})
+    world.run(until=1.0)
+    bob = world.add_host("bob", world.cells[1])
+    inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=2.0)
+    assert [n["subject"] for n in inbox.notifications] == ["s0", "s1", "s2"]
+
+
+def test_mail_chases_roaming_sleeping_user(mail_world):
+    world, server = mail_world
+    alice = world.add_host("alice", world.cells[0])
+    bob = world.add_host("bob", world.cells[1])
+    inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+    host = world.hosts["bob"]
+    host.deactivate()
+    alice.request("mail", {"op": "send", "to": "bob", "from": "alice",
+                           "subject": "urgent"})
+    world.run(until=3.0)
+    assert inbox.notifications == []
+    host.migrate_to(world.cells[2])   # carried while off
+    host.activate()
+    world.run(until=6.0)
+    assert [n["subject"] for n in inbox.notifications] == ["urgent"]
+
+
+def test_list_fetch_delete(mail_world):
+    world, server = mail_world
+    alice = world.add_host("alice", world.cells[0])
+    sent = alice.request("mail", {"op": "send", "to": "carol",
+                                  "from": "alice", "subject": "x",
+                                  "body": "B"})
+    world.run(until=1.0)
+    mail_id = sent.result["mail_id"]
+    assert sent.result["pushed"] is False  # carol never connected
+
+    listed = alice.request("mail", {"op": "list", "user": "carol"})
+    world.run(until=2.0)
+    assert [m["mail_id"] for m in listed.result["mail"]] == [mail_id]
+
+    fetched = alice.request("mail", {"op": "fetch", "user": "carol",
+                                     "mail_id": mail_id})
+    world.run(until=3.0)
+    assert fetched.result["mail"]["body"] == "B"
+
+    deleted = alice.request("mail", {"op": "delete", "user": "carol",
+                                     "mail_id": mail_id})
+    world.run(until=4.0)
+    assert deleted.result["ok"] is True
+    relisted = alice.request("mail", {"op": "list", "user": "carol"})
+    world.run_until_idle()
+    assert relisted.result["mail"] == []
+
+
+def test_fetch_missing_mail(mail_world):
+    world, server = mail_world
+    alice = world.add_host("alice", world.cells[0])
+    p = alice.request("mail", {"op": "fetch", "user": "carol", "mail_id": 99})
+    world.run_until_idle()
+    assert "error" in p.result
+
+
+def test_resubscribe_replaces_push_channel(mail_world):
+    world, server = mail_world
+    bob = world.add_host("bob", world.cells[0])
+    first = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+    second = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=2.0)
+    assert not first.active      # closed with {"replaced": True}
+    assert second.active
+    alice = world.add_host("alice", world.cells[1])
+    alice.request("mail", {"op": "send", "to": "bob", "from": "alice",
+                           "subject": "via-second"})
+    world.run(until=4.0)
+    assert [n["subject"] for n in second.notifications] == ["via-second"]
+    assert first.notifications == []
+
+
+def test_close_inbox_on_logout(mail_world):
+    world, server = mail_world
+    bob = world.add_host("bob", world.cells[0])
+    inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+    assert server.close_inbox("bob") is True
+    world.run(until=2.0)
+    assert not inbox.active
+    assert inbox.end_payload == {"logout": True}
+    assert server.close_inbox("bob") is False
+
+
+def test_compose_offline_with_qrpc(mail_world):
+    """The paper's portable-email vision: write on the train, send at
+    the next cell."""
+    world, server = mail_world
+    plain = world.add_host("alice", world.cells[0], join=False)
+    alice = QueuedRpcClient(plain.host)
+    alice.host.join(world.cells[0])
+    bob = world.add_host("bob", world.cells[1])
+    inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+
+    alice.host.deactivate()
+    drafts = [alice.request("mail", {"op": "send", "to": "bob",
+                                     "from": "alice",
+                                     "subject": f"draft{i}"})
+              for i in range(3)]
+    alice.host.migrate_to(world.cells[2])
+    world.run(until=3.0)
+    assert inbox.notifications == []
+    alice.host.activate()
+    world.run(until=8.0)
+    assert all(d.done for d in drafts)
+    assert [n["subject"] for n in inbox.notifications] == [
+        "draft0", "draft1", "draft2"]

@@ -1,0 +1,97 @@
+"""Property-based tests of the mail application.
+
+Random operation sequences (send / list / fetch / delete, interleaved
+with sleeps and migrations of the recipient) must preserve mailbox
+consistency and exactly-once inbox push per mail.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.servers.mail import MailServer
+from repro.types import MhState
+
+from tests.conftest import make_world
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["send", "send", "send", "delete", "sleep", "wake",
+                         "migrate"]),
+        st.integers(min_value=0, max_value=2),   # cell target / mail index
+    ),
+    min_size=3, max_size=16,
+)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=_ops, seed=st.integers(min_value=0, max_value=2),
+       subscribe_late=st.booleans())
+def test_mailbox_consistency_under_random_ops(ops, seed, subscribe_late):
+    world = make_world(seed=seed)
+    server = world.add_server("mail", MailServer)
+    alice = world.add_host("alice", world.cells[0])
+    bob = world.add_host("bob", world.cells[1])
+    host = world.hosts["bob"]
+
+    inbox = None
+    if not subscribe_late:
+        inbox = bob.subscribe("mail", {"user": "bob"})
+    world.run(until=1.0)
+
+    sent_subjects = []
+    deleted_ids = set()
+    sent_results = []
+    at = 1.0
+    for op, arg in ops:
+        at += 0.7
+        def step(op=op, arg=arg) -> None:
+            if op == "send":
+                subject = f"mail-{len(sent_subjects)}"
+                sent_subjects.append(subject)
+                sent_results.append(alice.request("mail", {
+                    "op": "send", "to": "bob", "from": "alice",
+                    "subject": subject}))
+            elif op == "delete" and sent_results:
+                target = sent_results[arg % len(sent_results)]
+                if target.done and target.result.get("mail_id"):
+                    deleted_ids.add(target.result["mail_id"])
+                    alice.request("mail", {"op": "delete", "user": "bob",
+                                           "mail_id": target.result["mail_id"]})
+            elif op == "sleep" and host.state is MhState.ACTIVE:
+                host.deactivate()
+            elif op == "wake" and host.state is MhState.INACTIVE:
+                host.activate()
+            elif op == "migrate" and host.state is MhState.ACTIVE:
+                target_cell = world.cells[arg]
+                if host.current_cell != target_cell:
+                    host.migrate_to(target_cell)
+        world.sim.schedule_at(at, step)
+
+    world.run(until=at + 5.0)
+    if host.state is MhState.INACTIVE:
+        host.activate()
+    if inbox is None:
+        inbox = bob.subscribe("mail", {"user": "bob"})   # late: backlog push
+    world.run(until=at + 40.0)
+
+    # Every send was accepted exactly once at the server.
+    accepted = [p for p in sent_results if p.done]
+    assert len(accepted) == len(sent_results)
+    mail_ids = [p.result["mail_id"] for p in accepted]
+    assert len(set(mail_ids)) == len(mail_ids)
+
+    # The stored mailbox equals sent minus deleted.
+    listed = alice.request("mail", {"op": "list", "user": "bob"})
+    world.run(until=world.sim.now + 5.0)
+    stored_ids = {m["mail_id"] for m in listed.result["mail"]}
+    assert stored_ids == set(mail_ids) - deleted_ids
+
+    # The push channel delivered each mail at most once (exactly once for
+    # the early subscriber; late subscribers get the surviving backlog).
+    pushed_ids = [n["mail_id"] for n in inbox.notifications]
+    assert len(set(pushed_ids)) == len(pushed_ids)
+    if not subscribe_late:
+        assert set(pushed_ids) == set(mail_ids)

@@ -1,0 +1,198 @@
+"""Tests for the small shared modules: types, errors, instruments,
+monitor, mobility traces, message registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    HandoffError,
+    MobilityError,
+    NetworkError,
+    ProtocolError,
+    ProxyError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    UnknownNodeError,
+    VerificationError,
+)
+from repro.instruments import Instruments
+from repro.mobility.trace import (
+    ACTIVATE,
+    DEACTIVATE,
+    MIGRATE,
+    MobilityTrace,
+    TraceReplayer,
+    TraceStep,
+)
+from repro.net.message import Message, _payload_size
+from repro.net.monitor import NetworkMonitor
+from repro.types import (
+    MhState,
+    ProxyRef,
+    is_mh,
+    is_mss,
+    is_server,
+    mh_id,
+    mss_id,
+    server_id,
+)
+
+from tests.conftest import make_world
+
+
+# -- types ------------------------------------------------------------------------
+
+def test_node_id_builders_and_predicates():
+    assert mss_id("a") == "mss:a" and is_mss(mss_id("a"))
+    assert mh_id("b") == "mh:b" and is_mh(mh_id("b"))
+    assert server_id("c") == "srv:c" and is_server(server_id("c"))
+    assert not is_mss(mh_id("b")) and not is_mh(server_id("c"))
+
+
+def test_proxy_ref_is_hashable_value_object():
+    a = ProxyRef(mss=mss_id("x"), proxy_id="p1")
+    b = ProxyRef(mss=mss_id("x"), proxy_id="p1")
+    assert a == b and hash(a) == hash(b)
+    assert str(a) == "mss:x/p1"
+    with pytest.raises(Exception):
+        a.mss = mss_id("y")  # frozen
+
+
+# -- errors -----------------------------------------------------------------------
+
+@pytest.mark.parametrize("exc", [
+    SimulationError, SchedulingError, NetworkError, UnknownNodeError,
+    ProtocolError, HandoffError, ProxyError, MobilityError, ConfigError,
+    VerificationError,
+])
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("boom")
+
+
+def test_scheduling_error_is_simulation_error():
+    assert issubclass(SchedulingError, SimulationError)
+    assert issubclass(UnknownNodeError, NetworkError)
+    assert issubclass(HandoffError, ProtocolError)
+
+
+# -- instruments -------------------------------------------------------------------
+
+def test_instruments_default_records():
+    instr = Instruments()
+    instr.recorder.record(1.0, "x", "n")
+    assert len(instr.recorder) == 1
+
+
+def test_instruments_disabled_counts_only():
+    instr = Instruments.disabled()
+    instr.recorder.record(1.0, "x", "n")
+    assert len(instr.recorder) == 0
+    assert instr.recorder.counts["x"] == 1
+
+
+# -- monitor ----------------------------------------------------------------------
+
+def test_monitor_kind_histogram_and_drops():
+    from repro.core.protocol import AckMsg, RequestMsg
+    from repro.types import NodeId, RequestId
+
+    monitor = NetworkMonitor()
+    req = RequestMsg(mh=mh_id("m"), request_id=RequestId("r"), service="s")
+    req.src, req.dst = NodeId("a"), NodeId("b")
+    ack = AckMsg(mh=mh_id("m"), request_id=RequestId("r"), delivery_id=1)
+    ack.src, ack.dst = NodeId("b"), NodeId("a")
+    monitor.on_send("wireless", req)
+    monitor.on_send("wireless", ack)
+    monitor.on_deliver("wireless", req)
+    monitor.on_drop("wireless", ack, "loss")
+    hist = monitor.kind_histogram()
+    assert hist == {"request": 1, "ack": 1}
+    assert monitor.total_messages() == 2
+    assert monitor.drops() == 1 and monitor.drops("loss") == 1
+    assert monitor.drops("not_in_cell") == 0
+    assert monitor.load_of(NodeId("a")) == 1       # sent the request
+    assert monitor.load_of(NodeId("b")) == 2       # sent the ack + received
+
+
+# -- payload size model --------------------------------------------------------------
+
+@pytest.mark.parametrize("value,expected", [
+    (None, 0),
+    (True, 1),
+    (7, 8),
+    (1.5, 8),
+    ("abc", 3),
+    (b"abcd", 4),
+])
+def test_payload_size_scalars(value, expected):
+    assert _payload_size(value) == expected
+
+
+def test_payload_size_containers():
+    assert _payload_size([1, 2]) == 16 + 8
+    assert _payload_size({"k": "vv"}) == 1 + 2
+
+
+# -- mobility trace replay -------------------------------------------------------------
+
+def test_trace_step_validation():
+    with pytest.raises(MobilityError):
+        TraceStep(time=1.0, event="teleport")
+    with pytest.raises(MobilityError):
+        TraceStep(time=1.0, event=MIGRATE)  # needs a cell
+    with pytest.raises(MobilityError):
+        TraceStep(time=-1.0, event=ACTIVATE)
+
+
+def test_trace_sorted_and_len():
+    trace = MobilityTrace().add(5.0, ACTIVATE).add(1.0, DEACTIVATE)
+    ordered = trace.sorted()
+    assert [s.time for s in ordered.steps] == [1.0, 5.0]
+    assert len(trace) == 2
+
+
+def test_replayer_applies_and_skips():
+    world = make_world()
+    world.add_host("m", world.cells[0])
+    world.run_until_idle()
+    host = world.hosts["m"]
+    trace = (MobilityTrace()
+             .add(1.0, MIGRATE, cell=world.cells[1])
+             .add(1.5, MIGRATE, cell=world.cells[1])   # same cell -> skipped
+             .add(2.0, ACTIVATE)                        # already active -> skipped
+             .add(3.0, DEACTIVATE)
+             .add(4.0, DEACTIVATE)                      # already off -> skipped
+             .add(5.0, ACTIVATE))
+    replayer = TraceReplayer(world.sim, host, trace)
+    replayer.start()
+    world.run_until_idle()
+    assert replayer.applied == 3
+    assert replayer.skipped == 3
+    assert host.current_cell == world.cells[1]
+    assert host.state is MhState.ACTIVE
+
+
+# -- message registry ----------------------------------------------------------------
+
+def test_message_registry_is_complete():
+    # Kind registration happens at class-definition time; make sure every
+    # message-defining module is imported.
+    import repro.baselines.itcp_like  # noqa: F401
+    import repro.servers.tis  # noqa: F401
+
+    registry = Message.registry()
+    # Every protocol kind plus the TIS overlay and ordered-multicast kinds.
+    for kind in ("join", "leave", "greet", "registered", "request", "ack",
+                 "wireless_result", "dereg", "deregack", "update_currentloc",
+                 "forwarded_request", "result_forward", "del_pref_notice",
+                 "ack_forward", "create_proxy", "proxy_created", "proxy_gone",
+                 "server_request", "server_result", "server_ack",
+                 "notification", "subscription_end", "tis_lookup",
+                 "tis_lookup_reply", "tis_update", "tis_update_ack",
+                 "tis_replicate", "tis_subscribe", "itcp_chased_result"):
+        assert kind in registry, kind

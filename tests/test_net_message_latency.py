@@ -1,0 +1,97 @@
+"""Tests for message base class and latency models."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.protocol import GreetMsg, RequestMsg, ResultForwardMsg
+from repro.errors import ConfigError
+from repro.net.latency import (
+    ConstantLatency,
+    ExponentialLatency,
+    NormalLatency,
+    UniformLatency,
+)
+from repro.net.message import HEADER_BYTES, Message
+from repro.types import NodeId, ProxyId, ProxyRef, RequestId
+
+
+def test_msg_ids_unique_and_increasing():
+    a = RequestMsg(mh=NodeId("mh:x"), request_id=RequestId("r1"), service="s")
+    b = RequestMsg(mh=NodeId("mh:x"), request_id=RequestId("r2"), service="s")
+    assert b.msg_id > a.msg_id
+
+
+def test_registry_contains_protocol_kinds():
+    registry = Message.registry()
+    for kind in ("request", "ack", "greet", "dereg", "deregack",
+                 "update_currentloc", "result_forward", "ack_forward",
+                 "del_pref_notice", "server_request", "server_result"):
+        assert kind in registry, kind
+
+
+def test_size_scales_with_payload():
+    small = RequestMsg(mh=NodeId("mh:x"), request_id=RequestId("r"),
+                       service="s", payload="ab")
+    large = RequestMsg(mh=NodeId("mh:x"), request_id=RequestId("r"),
+                       service="s", payload="ab" * 500)
+    assert large.size_bytes() - small.size_bytes() == 998
+    assert small.size_bytes() > HEADER_BYTES
+
+
+def test_size_handles_structured_payloads():
+    msg = RequestMsg(mh=NodeId("mh:x"), request_id=RequestId("r"), service="s",
+                     payload={"op": "query", "items": [1, 2, 3], "flag": True})
+    assert msg.size_bytes() > HEADER_BYTES
+
+
+def test_describe_mentions_flags():
+    ref = ProxyRef(mss=NodeId("mss:s0"), proxy_id=ProxyId("px1"))
+    fwd = ResultForwardMsg(mh=NodeId("mh:x"), proxy_ref=ref,
+                           request_id=RequestId("r"), delivery_id=1,
+                           del_pref=True, retransmission=True)
+    assert "del-pref" in fwd.describe()
+    assert "retr" in fwd.describe()
+    greet = GreetMsg(mh=NodeId("mh:x"), old_mss=NodeId("mss:s1"), seq=4)
+    assert "mss:s1" in greet.describe()
+
+
+def test_constant_latency():
+    model = ConstantLatency(0.5)
+    assert model.sample(random.Random(0)) == 0.5
+    assert model.mean == 0.5
+    with pytest.raises(ConfigError):
+        ConstantLatency(-1)
+
+
+def test_uniform_latency_bounds_and_mean():
+    model = UniformLatency(0.1, 0.3)
+    rng = random.Random(1)
+    samples = [model.sample(rng) for _ in range(200)]
+    assert all(0.1 <= s <= 0.3 for s in samples)
+    assert model.mean == pytest.approx(0.2)
+    with pytest.raises(ConfigError):
+        UniformLatency(0.3, 0.1)
+
+
+def test_exponential_latency_floor_and_mean():
+    model = ExponentialLatency(scale=0.1, floor=0.05)
+    rng = random.Random(2)
+    samples = [model.sample(rng) for _ in range(500)]
+    assert all(s >= 0.05 for s in samples)
+    assert model.mean == pytest.approx(0.15)
+    assert sum(samples) / len(samples) == pytest.approx(0.15, rel=0.2)
+
+
+def test_exponential_zero_scale_is_constant():
+    model = ExponentialLatency(scale=0.0, floor=0.02)
+    assert model.sample(random.Random(0)) == 0.02
+
+
+def test_normal_latency_truncated():
+    model = NormalLatency(mean=0.01, stddev=0.05, floor=0.001)
+    rng = random.Random(3)
+    samples = [model.sample(rng) for _ in range(300)]
+    assert all(s >= 0.001 for s in samples)

@@ -1,0 +1,87 @@
+"""Tests for platoon (group) mobility."""
+
+from __future__ import annotations
+
+import random
+
+from repro.mobility.cellmap import grid_topology, line_topology
+from repro.mobility.models import FixedResidence, FixedRoute, PlatoonMobility
+from repro.mobility.driver import MobilityDriver
+from repro.servers.echo import EchoServer
+from repro.net.latency import ConstantLatency
+from repro.types import CellId
+
+from tests.conftest import make_world
+
+
+class _Leader:
+    def __init__(self, cell: str) -> None:
+        self.current_cell = CellId(cell)
+
+
+def test_follower_steps_toward_leader():
+    cmap = line_topology(5)
+    leader = _Leader("cell4")
+    model = PlatoonMobility(cmap, leader)
+    rng = random.Random(0)
+    assert model.next_cell(CellId("cell0"), rng) == "cell1"
+    assert model.next_cell(CellId("cell3"), rng) == "cell4"
+
+
+def test_follower_stays_when_colocated():
+    cmap = line_topology(3)
+    leader = _Leader("cell1")
+    model = PlatoonMobility(cmap, leader)
+    assert model.next_cell(CellId("cell1"), random.Random(0)) is None
+
+
+def test_follower_handles_leaderless_state():
+    cmap = line_topology(3)
+    leader = _Leader("cell0")
+    leader.current_cell = None
+    model = PlatoonMobility(cmap, leader)
+    assert model.next_cell(CellId("cell2"), random.Random(0)) is None
+
+
+def test_platoon_converges_on_grid():
+    cmap = grid_topology(4, 4)
+    leader = _Leader("cell3_3")
+    model = PlatoonMobility(cmap, leader)
+    rng = random.Random(1)
+    cell = CellId("cell0_0")
+    for _ in range(10):
+        nxt = model.next_cell(cell, rng)
+        if nxt is None:
+            break
+        cell = nxt
+    assert cell == "cell3_3"
+
+
+def test_platoon_end_to_end_with_rdp():
+    """A staff car (leader) drives a fixed route; a colleague's device
+    follows, receiving a slow result mid-convoy."""
+    world = make_world(n_cells=5)
+    world.add_server("slow", EchoServer, service_time=ConstantLatency(3.0))
+    leader_client = world.add_host("leader", world.cells[0])
+    follower_client = world.add_host("follower", world.cells[0])
+    leader = world.hosts["leader"]
+    follower = world.hosts["follower"]
+
+    route = FixedRoute([CellId(c) for c in world.cells])
+    leader_driver = MobilityDriver(world.sim, leader, route,
+                                   FixedResidence(1.0),
+                                   world.mobility_rng("leader"))
+    follower_driver = MobilityDriver(
+        world.sim, follower, PlatoonMobility(world.cell_map, leader),
+        FixedResidence(1.0), world.mobility_rng("follower"))
+    world.drivers.extend([leader_driver, follower_driver])
+    leader_driver.start()
+    follower_driver.start()
+
+    p = follower_client.request("slow", "convoy")
+    world.run(until=8.0)
+    world.run_until_idle()
+    assert p.done
+    # The follower trailed the leader to the end of the line.
+    assert follower.current_cell == world.cells[-1]
+    assert world.metrics.count("handoffs_completed") >= 6

@@ -1,0 +1,101 @@
+"""Preset configs plus the kitchen-sink soak test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import World
+from repro.analysis.verify import check_all
+from repro.experiments.harness import drain
+from repro.mobility.activity import ActivityProcess
+from repro.mobility.models import ExponentialResidence, RandomNeighborWalk
+from repro.net.latency import ExponentialLatency
+from repro.presets import (
+    city_grid,
+    everything_on,
+    lossy_field_trial,
+    metro_area,
+    narrowband,
+    paper_default,
+)
+from repro.servers.echo import EchoServer
+from repro.sim import PeriodicProcess
+from repro.types import MhState
+
+
+@pytest.mark.parametrize("builder", [
+    paper_default, city_grid, lossy_field_trial, narrowband, metro_area,
+    everything_on,
+])
+def test_presets_build_working_worlds(builder):
+    world = World(builder())
+    world.add_server("echo")
+    client = world.add_host("m", world.cells[0], retry_interval=3.0)
+    p = client.request("echo", {"ping": 1})
+    world.run(until=60.0)
+    drain(world)
+    assert p.done
+
+
+def test_presets_are_independent_instances():
+    a, b = paper_default(), paper_default()
+    a.n_cells = 99
+    assert b.n_cells == 3
+
+
+def test_everything_on_soak():
+    """Every optional mechanism at once, under a mixed workload: the
+    protocol invariants and full delivery must still hold."""
+    world = World(everything_on(seed=13))
+    world.add_server("echo", EchoServer,
+                     service_time=ExponentialLatency(scale=0.4, floor=0.05))
+    walk = RandomNeighborWalk(world.cell_map)
+    residence = ExponentialResidence(8.0)
+
+    processes = []
+    n_hosts = 10
+    issue_until = 150.0
+    for i in range(n_hosts):
+        name = f"mh{i}"
+        client = world.add_host(name, world.cells[i % len(world.cells)],
+                                retry_interval=4.0)
+        world.add_mobility(name, walk, residence)
+        rng = world.rng.stream(f"soak.{name}")
+
+        def issue(client=client) -> None:
+            if world.sim.now > issue_until:
+                return
+            if client.host.state is MhState.ACTIVE:
+                client.request("echo", {"n": len(client.requests)})
+        proc = PeriodicProcess(world.sim, issue,
+                               lambda rng=rng: rng.expovariate(1.0 / 6.0))
+        proc.start()
+        processes.append(proc)
+
+        activity = ActivityProcess(
+            world.sim, client.host,
+            on_duration=lambda rng=rng: rng.expovariate(1.0 / 25.0),
+            off_duration=lambda rng=rng: rng.expovariate(1.0 / 5.0))
+        activity.start()
+        processes.append(activity)
+
+    world.run(until=180.0)
+    for proc in processes:
+        proc.stop()
+    rounds = drain(world)
+
+    total = sum(len(c.requests) for c in world.clients.values())
+    done = sum(len(c.completed) for c in world.clients.values())
+    assert total > 50
+    assert done == total, f"{total - done} requests lost"
+    report = check_all(world, expect_quiescent=True)
+    assert report.ok, report.violations
+    # Every optional mechanism actually exercised:
+    metrics = world.metrics
+    assert metrics.count("handoffs_completed") > 0
+    assert metrics.count("proxy_retransmissions") >= 0
+    assert metrics.count("results_retained") > 0          # retention
+    assert world.monitor.drops("loss") > 0                 # lossy radio
+    # Proxy migration may or may not trigger depending on drift; the
+    # counter existing at 0 is fine, but invariants above already cover
+    # correctness when it does.

@@ -1,0 +1,121 @@
+"""Property-based tests of the application layers on top of RDP:
+ordered multicast (agreement on total order) and the TIS information
+base (read-your-writes after quiescence)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import LatencySpec, WorldConfig
+from repro.net.latency import ConstantLatency
+from repro.servers.ordered_multicast import OrderedGroupServer, join_ordered_group
+from repro.servers.tis_network import TisNetwork
+from repro.world import World
+
+_actions = st.lists(
+    st.tuples(
+        st.sampled_from(["mcast", "sleep", "wake", "migrate"]),
+        st.integers(min_value=0, max_value=2),   # which member
+        st.integers(min_value=0, max_value=3),   # target cell / payload
+    ),
+    min_size=4, max_size=18,
+)
+
+
+def _world(seed: int) -> World:
+    return World(WorldConfig(
+        seed=seed, n_cells=4, topology="ring",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        trace=False,
+    ))
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(actions=_actions, seed=st.integers(min_value=0, max_value=2))
+def test_ordered_multicast_agreement(actions, seed):
+    """All members deliver the same sequence (the server's history),
+    gap-free and duplicate-free, regardless of sleep/migration timing."""
+    world = _world(seed)
+    server = world.add_server("og", OrderedGroupServer)
+    sender = world.add_host("sender", world.cells[0])
+    members = [world.add_host(f"m{i}", world.cells[(i + 1) % 4])
+               for i in range(3)]
+    memberships = [join_ordered_group(c, "og", "g") for c in members]
+    world.run(until=1.0)
+
+    payload_counter = [0]
+    at = 1.0
+    for action, member_index, arg in actions:
+        at += 0.4
+        host = members[member_index].host
+
+        def step(action=action, host=host, arg=arg) -> None:
+            if action == "mcast":
+                payload_counter[0] += 1
+                sender.request("og", {"op": "omcast", "group": "g",
+                                      "data": payload_counter[0]})
+            elif action == "sleep" and host.state.value == "active":
+                host.deactivate()
+            elif action == "wake" and host.state.value == "inactive":
+                host.activate()
+            elif action == "migrate" and host.state.value == "active":
+                target = world.cells[arg]
+                if host.current_cell != target:
+                    host.migrate_to(target)
+        world.sim.schedule_at(at, step)
+
+    world.run(until=at + 5.0)
+    # Wake everyone so redeliveries can finish, then settle.
+    for client in members:
+        if client.host.state.value == "inactive":
+            client.host.activate()
+    world.run(until=at + 40.0)
+
+    expected = server.history.get("g", [])
+    for membership in memberships:
+        assert membership.delivered == expected
+        assert membership.holdback_depth == 0
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    writes=st.lists(st.tuples(st.integers(0, 3), st.floats(0.0, 10.0)),
+                    min_size=1, max_size=12),
+    seed=st.integers(min_value=0, max_value=2),
+)
+def test_tis_reads_see_last_write(writes, seed):
+    """After quiescence, a query for any region returns the last written
+    level, regardless of which server the query enters through."""
+    world = _world(seed)
+    regions = [f"r{i}" for i in range(4)]
+    tis = TisNetwork(
+        world.sim, world.wired, world.directory,
+        partitions={"tisA": regions[:2], "tisB": regions[2:]},
+        overlay_edges=[("tisA", "tisB")],
+        instruments=world.instruments,
+        service_time=ConstantLatency(0.01),
+    )
+    client = world.add_host("m", world.cells[0])
+    world.run(until=0.5)
+
+    last: dict = {}
+    for region_index, level in writes:
+        region = regions[region_index]
+        level = round(level, 3)
+        p = client.request("tis.tisA", {"op": "update", "region": region,
+                                        "level": level})
+        world.run(until=world.sim.now + 3.0)
+        assert p.done and p.result.get("ok"), p.result
+        last[region] = level
+
+    for entry in ("tis.tisA", "tis.tisB"):
+        for region, level in last.items():
+            q = client.request(entry, {"op": "query", "region": region})
+            world.run(until=world.sim.now + 3.0)
+            assert q.done
+            assert q.result["level"] == level, (entry, region, q.result)
+    world.run_until_idle()

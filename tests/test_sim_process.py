@@ -1,0 +1,109 @@
+"""Tests for timers and periodic processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import PeriodicProcess, Timer
+
+
+def test_timer_fires_after_delay(sim):
+    out = []
+    timer = Timer(sim, lambda: out.append(sim.now))
+    timer.restart(2.0)
+    sim.run()
+    assert out == [2.0]
+
+
+def test_timer_restart_supersedes_previous(sim):
+    out = []
+    timer = Timer(sim, lambda: out.append(sim.now))
+    timer.restart(2.0)
+    timer.restart(5.0)
+    sim.run()
+    assert out == [5.0]
+
+
+def test_timer_cancel(sim):
+    out = []
+    timer = Timer(sim, lambda: out.append(sim.now))
+    timer.restart(1.0)
+    timer.cancel()
+    sim.run()
+    assert out == []
+    assert not timer.armed
+
+
+def test_timer_armed_property(sim):
+    timer = Timer(sim, lambda: None)
+    assert not timer.armed
+    timer.restart(1.0)
+    assert timer.armed
+    sim.run()
+    assert not timer.armed
+
+
+def test_timer_can_rearm_from_callback(sim):
+    fires = []
+    timer = Timer(sim, lambda: None)
+
+    def tick():
+        fires.append(sim.now)
+        if len(fires) < 3:
+            timer.restart(1.0)
+
+    timer._callback = tick
+    timer.restart(1.0)
+    sim.run()
+    assert fires == [1.0, 2.0, 3.0]
+
+
+def test_periodic_fixed_interval(sim):
+    out = []
+    proc = PeriodicProcess(sim, lambda: out.append(sim.now), lambda: 1.0)
+    proc.start()
+    sim.run(until=3.5)
+    assert out == [1.0, 2.0, 3.0]
+
+
+def test_periodic_initial_delay(sim):
+    out = []
+    proc = PeriodicProcess(sim, lambda: out.append(sim.now), lambda: 2.0)
+    proc.start(initial_delay=0.5)
+    sim.run(until=3.0)
+    assert out == [0.5, 2.5]
+
+
+def test_periodic_stop(sim):
+    out = []
+    proc = PeriodicProcess(sim, lambda: out.append(sim.now), lambda: 1.0)
+    proc.start()
+    sim.schedule(2.5, proc.stop)
+    sim.run()
+    assert out == [1.0, 2.0]
+
+
+def test_periodic_stop_from_action(sim):
+    out = []
+    proc = PeriodicProcess(sim, lambda: (out.append(sim.now), proc.stop()),
+                           lambda: 1.0)
+    proc.start()
+    sim.run()
+    assert out == [1.0]
+
+
+def test_periodic_double_start_rejected(sim):
+    proc = PeriodicProcess(sim, lambda: None, lambda: 1.0)
+    proc.start()
+    with pytest.raises(SchedulingError):
+        proc.start()
+
+
+def test_periodic_variable_period(sim):
+    periods = iter([1.0, 2.0, 4.0, 100.0])
+    out = []
+    proc = PeriodicProcess(sim, lambda: out.append(sim.now), lambda: next(periods))
+    proc.start()
+    sim.run(until=10.0)
+    assert out == [1.0, 3.0, 7.0]

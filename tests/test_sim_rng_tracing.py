@@ -1,0 +1,85 @@
+"""Tests for RNG streams and trace recording."""
+
+from __future__ import annotations
+
+from repro.sim import RngStreams, TraceRecorder
+
+
+def test_same_name_returns_same_stream():
+    streams = RngStreams(seed=7)
+    assert streams.stream("a") is streams.stream("a")
+
+
+def test_streams_are_reproducible_across_instances():
+    a = RngStreams(seed=7).stream("mobility")
+    b = RngStreams(seed=7).stream("mobility")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_are_independent():
+    streams = RngStreams(seed=7)
+    a = [streams.stream("a").random() for _ in range(5)]
+    b = [streams.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngStreams(seed=1).stream("x").random()
+    b = RngStreams(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_adding_stream_does_not_perturb_existing():
+    s1 = RngStreams(seed=3)
+    first = s1.stream("a").random()
+    s2 = RngStreams(seed=3)
+    s2.stream("zzz")  # extra consumer
+    assert s2.stream("a").random() == first
+
+
+def test_spawn_derives_child_seed():
+    parent = RngStreams(seed=5)
+    child1 = parent.spawn("rep1")
+    child2 = parent.spawn("rep2")
+    assert child1.seed != child2.seed
+    assert RngStreams(seed=5).spawn("rep1").seed == child1.seed
+
+
+def test_recorder_records_and_filters():
+    rec = TraceRecorder()
+    rec.record(1.0, "send", "n1", msg="request")
+    rec.record(2.0, "recv", "n2", msg="request")
+    rec.record(3.0, "send", "n1", msg="ack")
+    assert len(rec) == 3
+    assert [r.time for r in rec.filter(kind="send")] == [1.0, 3.0]
+    assert rec.filter(node="n2")[0].get("msg") == "request"
+    assert rec.filter(kind="send", msg="ack")[0].time == 3.0
+
+
+def test_recorder_disabled_still_counts():
+    rec = TraceRecorder(enabled=False)
+    rec.record(1.0, "send", "n1")
+    assert len(rec) == 0
+    assert rec.counts["send"] == 1
+
+
+def test_recorder_kind_whitelist():
+    rec = TraceRecorder(kinds={"send"})
+    rec.record(1.0, "send", "n1")
+    rec.record(1.0, "recv", "n2")
+    assert len(rec) == 1
+    assert rec.counts == {"send": 1, "recv": 1}
+
+
+def test_recorder_sink_callback():
+    seen = []
+    rec = TraceRecorder(sink=seen.append)
+    rec.record(1.0, "deliver", "mh")
+    assert len(seen) == 1 and seen[0].kind == "deliver"
+
+
+def test_recorder_clear():
+    rec = TraceRecorder()
+    rec.record(1.0, "send", "n1")
+    rec.clear()
+    assert len(rec) == 0 and rec.counts == {}

@@ -1,0 +1,141 @@
+"""Tests for the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim import Simulator
+
+
+def test_events_fire_in_time_order(sim):
+    out = []
+    sim.schedule(2.0, out.append, "late")
+    sim.schedule(1.0, out.append, "early")
+    sim.schedule(3.0, out.append, "latest")
+    sim.run()
+    assert out == ["early", "late", "latest"]
+
+
+def test_ties_break_by_scheduling_order(sim):
+    out = []
+    for i in range(5):
+        sim.schedule(1.0, out.append, i)
+    sim.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_clock_advances_to_fired_event_time(sim):
+    sim.schedule(1.5, lambda: None)
+    sim.run()
+    assert sim.now == 1.5
+
+
+def test_run_until_limits_and_advances_clock(sim):
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(5.0, out.append, "b")
+    sim.run(until=2.0)
+    assert out == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert out == ["a", "b"]
+
+
+def test_schedule_relative_from_within_event(sim):
+    out = []
+
+    def first():
+        sim.schedule(1.0, lambda: out.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert out == [2.0]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SchedulingError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(1.0, lambda: None)
+
+
+def test_non_finite_time_rejected(sim):
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(float("inf"), lambda: None)
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(float("nan"), lambda: None)
+
+
+def test_cancelled_events_do_not_fire(sim):
+    out = []
+    event = sim.schedule(1.0, out.append, "cancelled")
+    sim.schedule(2.0, out.append, "kept")
+    event.cancel()
+    sim.run()
+    assert out == ["kept"]
+
+
+def test_stop_halts_processing(sim):
+    out = []
+    sim.schedule(1.0, sim.stop)
+    sim.schedule(2.0, out.append, "never")
+    sim.run()
+    assert out == []
+    assert sim.now == 1.0
+
+
+def test_max_events_bound(sim):
+    out = []
+    for i in range(10):
+        sim.schedule(float(i + 1), out.append, i)
+    sim.run(max_events=3)
+    assert out == [0, 1, 2]
+
+
+def test_run_until_idle_raises_on_livelock(sim):
+    def respawn():
+        sim.schedule(1.0, respawn)
+
+    sim.schedule(1.0, respawn)
+    with pytest.raises(SimulationError):
+        sim.run_until_idle(max_events=100)
+
+
+def test_reentrant_run_rejected(sim):
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, inner)
+    sim.run()
+
+
+def test_peek_next_time_skips_cancelled(sim):
+    e1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    e1.cancel()
+    assert sim.peek_next_time() == 2.0
+
+
+def test_events_executed_counter(sim):
+    for i in range(4):
+        sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.events_executed == 4
+
+
+def test_zero_delay_event_runs_at_same_time(sim):
+    out = []
+
+    def outer():
+        sim.schedule(0.0, lambda: out.append(sim.now))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert out == [1.0]

@@ -1,0 +1,63 @@
+"""Tests for the seed-sweep aggregation utility."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.an1_reliability import run_reliability
+from repro.experiments.sweep import sweep, sweep_table
+
+
+@dataclass
+class _FakeResult:
+    hits: int
+    rate: float
+    label: str = "x"
+    flag: bool = True
+
+    @property
+    def double_rate(self) -> float:
+        return self.rate * 2
+
+
+def _fake_experiment(seed: int = 0) -> _FakeResult:
+    return _FakeResult(hits=seed, rate=seed / 10.0)
+
+
+def test_sweep_aggregates_numeric_fields_and_properties():
+    stats = sweep(_fake_experiment, seeds=[1, 2, 3])
+    assert stats["hits"]["mean"] == 2.0
+    assert stats["hits"]["min"] == 1.0 and stats["hits"]["max"] == 3.0
+    assert stats["rate"]["mean"] == pytest.approx(0.2)
+    assert stats["double_rate"]["mean"] == pytest.approx(0.4)
+    assert "label" not in stats            # strings excluded
+    assert stats["flag"]["mean"] == 1.0    # bools become 0/1
+
+
+def test_sweep_metric_filter():
+    stats = sweep(_fake_experiment, seeds=[1, 2], metrics=["hits"])
+    assert set(stats) == {"hits"}
+
+
+def test_sweep_table_rendering():
+    table = sweep_table(_fake_experiment, seeds=[1, 2, 3], title="fake",
+                        metrics=["hits", "rate"])
+    assert "fake (3 seeds)" in table.render()
+    assert [row[0] for row in table.rows] == ["hits", "rate"]
+
+
+def test_sweep_with_dict_results():
+    stats = sweep(lambda seed=0: {"a": seed, "b": "s"}, seeds=[0, 4])
+    assert stats["a"]["mean"] == 2.0
+    assert "b" not in stats
+
+
+def test_sweep_over_real_experiment():
+    stats = sweep(run_reliability, seeds=[0, 1], protocol="rdp",
+                  n_hosts=3, duration=60.0,
+                  metrics=["delivery_ratio", "requests"])
+    assert stats["delivery_ratio"]["mean"] == 1.0
+    assert stats["delivery_ratio"]["sd"] == 0.0
+    assert stats["requests"]["min"] > 0

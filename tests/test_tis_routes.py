@@ -1,0 +1,94 @@
+"""Tests for TIS scatter-gather route queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.latency import ConstantLatency
+from repro.servers.tis_network import TisNetwork
+
+from tests.conftest import make_world
+
+
+def _build(world, **kw):
+    return TisNetwork(
+        world.sim, world.wired, world.directory,
+        partitions={"tisA": ["r1", "r2"], "tisB": ["r3"], "tisC": ["r4", "r5"]},
+        overlay_edges=[("tisA", "tisB"), ("tisB", "tisC")],
+        instruments=world.instruments,
+        service_time=ConstantLatency(0.02),
+        **kw,
+    )
+
+
+def test_route_all_local(world):
+    tis = _build(world)
+    tis.apply_external_update("r1", 2.0)
+    tis.apply_external_update("r2", 7.0)
+    client = world.add_host("m", world.cells[0])
+    p = client.request("tis.tisA", {"op": "route", "regions": ["r1", "r2"]})
+    world.run_until_idle()
+    assert p.result["ok"]
+    assert p.result["worst_level"] == 7.0
+    assert [leg["region"] for leg in p.result["legs"]] == ["r1", "r2"]
+    assert p.result["unknown"] == []
+
+
+def test_route_spans_owners(world):
+    tis = _build(world)
+    for region, level in (("r1", 1.0), ("r3", 9.0), ("r5", 4.0)):
+        tis.apply_external_update(region, level)
+    client = world.add_host("m", world.cells[0])
+    p = client.request("tis.tisA",
+                       {"op": "route", "regions": ["r1", "r3", "r5"]})
+    world.run_until_idle()
+    assert p.result["ok"]
+    assert p.result["worst_level"] == 9.0
+    levels = [leg["level"] for leg in p.result["legs"]]
+    assert levels == [1.0, 9.0, 4.0]
+
+
+def test_route_unknown_leg_reported(world):
+    tis = _build(world, lookup_timeout=1.0)
+    tis.apply_external_update("r1", 3.0)
+    client = world.add_host("m", world.cells[0])
+    p = client.request("tis.tisA",
+                       {"op": "route", "regions": ["r1", "atlantis"]})
+    world.run_until_idle()
+    assert p.result["ok"]
+    assert p.result["worst_level"] == 3.0
+    assert p.result["unknown"] == ["atlantis"]
+    assert p.result["legs"][1] is None
+
+
+def test_route_empty_rejected(world):
+    _build(world)
+    client = world.add_host("m", world.cells[0])
+    p = client.request("tis.tisA", {"op": "route", "regions": []})
+    world.run_until_idle()
+    assert "error" in p.result
+
+
+def test_route_uses_cache(world):
+    tis = _build(world, cache_ttl=100.0)
+    tis.apply_external_update("r3", 5.0)   # replicates to tisA's cache
+    world.run_until_idle()
+    client = world.add_host("m", world.cells[0])
+    p = client.request("tis.tisA", {"op": "route", "regions": ["r3"]})
+    world.run_until_idle()
+    assert p.result["worst_level"] == 5.0
+    assert tis.servers["tisA"].remote_lookups == 0
+
+
+def test_route_while_migrating(world):
+    """The aggregated answer chases the roaming client like any result."""
+    tis = _build(world)
+    for region, level in (("r2", 2.0), ("r4", 8.0)):
+        tis.apply_external_update(region, level)
+    client = world.add_host("m", world.cells[0])
+    host = world.hosts["m"]
+    p = client.request("tis.tisA", {"op": "route", "regions": ["r2", "r4"]})
+    world.sim.schedule(0.02, host.migrate_to, world.cells[2])
+    world.run_until_idle()
+    assert p.done
+    assert p.result["worst_level"] == 8.0

@@ -1,0 +1,114 @@
+"""Tests for the shared-medium wireless bandwidth model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import ConstantLatency
+from repro.net.wireless import WirelessChannel
+from repro.servers.echo import EchoServer
+from repro.sim import Simulator
+
+from tests.conftest import make_world
+from tests.test_net_wired_wireless import _Host, _Ping, _Station
+
+
+def test_invalid_bandwidth_rejected():
+    with pytest.raises(NetworkError):
+        WirelessChannel(Simulator(), bandwidth_bps=0)
+
+
+def test_serialization_delay_added(sim):
+    chan = WirelessChannel(sim, latency=ConstantLatency(0.001),
+                           bandwidth_bps=8_000)  # 1000 bytes/s
+    station = _Station("mss:a", "c1")
+    host = _Host("mh:h", "c1")
+    chan.register_station(station)
+    chan.register_host(host)
+    msg = _Ping(tag="x" * 100)
+    size = msg.size_bytes()
+    chan.downlink(station, host.node_id, msg)
+    sim.run()
+    arrival = sim.now
+    assert arrival == pytest.approx(0.001 + size * 8 / 8_000)
+
+
+def test_medium_is_shared_per_cell(sim):
+    """Two messages in the same cell serialize; different cells don't."""
+    chan = WirelessChannel(sim, latency=ConstantLatency(0.0),
+                           bandwidth_bps=8_000)
+    s1 = _Station("mss:a", "c1")
+    s2 = _Station("mss:b", "c2")
+    h1 = _Host("mh:1", "c1")
+    h2 = _Host("mh:2", "c1")
+    h3 = _Host("mh:3", "c2")
+    for s in (s1, s2):
+        chan.register_station(s)
+    for h in (h1, h2, h3):
+        chan.register_host(h)
+
+    msg_a, msg_b, msg_c = _Ping(tag="a"), _Ping(tag="b"), _Ping(tag="c")
+    one_airtime = msg_a.size_bytes() * 8 / 8_000
+    chan.downlink(s1, h1.node_id, msg_a)
+    chan.downlink(s1, h2.node_id, msg_b)   # queues behind msg_a in c1
+    chan.downlink(s2, h3.node_id, msg_c)   # c2: no queueing
+    sim.run()
+    assert h1.received and h2.received and h3.received
+    # h2's message waited one full airtime behind h1's.
+    assert sim.now == pytest.approx(2 * one_airtime)
+
+
+def test_uplink_and_downlink_share_medium(sim):
+    chan = WirelessChannel(sim, latency=ConstantLatency(0.0),
+                           bandwidth_bps=8_000)
+    station = _Station("mss:a", "c1")
+    host = _Host("mh:h", "c1")
+    chan.register_station(station)
+    chan.register_host(host)
+    down = _Ping(tag="down")
+    up = _Ping(tag="up")
+    airtime = down.size_bytes() * 8 / 8_000
+    chan.downlink(station, host.node_id, down)
+    chan.uplink(host, up)
+    sim.run()
+    assert station.received and host.received
+    assert sim.now == pytest.approx(airtime + up.size_bytes() * 8 / 8_000)
+
+
+def test_unlimited_bandwidth_is_default(sim):
+    chan = WirelessChannel(sim, latency=ConstantLatency(0.003))
+    station = _Station("mss:a", "c1")
+    host = _Host("mh:h", "c1")
+    chan.register_station(station)
+    chan.register_host(host)
+    for _ in range(5):
+        chan.downlink(station, host.node_id, _Ping())
+    sim.run()
+    assert sim.now == pytest.approx(0.003)  # all in parallel
+
+
+def test_end_to_end_with_bandwidth_limit():
+    """A full RDP exchange still completes over a slow shared radio."""
+    world = make_world(wireless_bandwidth_bps=64_000)
+    world.add_server("echo", EchoServer, service_time=ConstantLatency(0.05))
+    client = world.add_host("m", world.cells[0])
+    blob = "z" * 4000
+    p = client.request("echo", blob)
+    world.run_until_idle()
+    assert p.done and p.result == blob
+    # The 4KB result at 64kbps needs >0.5s of airtime.
+    assert p.latency > 0.5
+
+
+def test_bandwidth_slows_large_results_more():
+    def run(payload_bytes):
+        world = make_world(wireless_bandwidth_bps=128_000)
+        world.add_server("echo", EchoServer,
+                         service_time=ConstantLatency(0.01))
+        client = world.add_host("m", world.cells[0])
+        p = client.request("echo", "y" * payload_bytes)
+        world.run_until_idle()
+        return p.latency
+
+    assert run(16_000) > run(100) * 3
