@@ -203,6 +203,10 @@ class Proxy:
             self.instr.metrics.incr("proxy_duplicate_acks")
         else:
             self.completed.add(msg.request_id)
+            self.instr.recorder.record(self.sim.now, "proxy_ack",
+                                       self.host.node_id,
+                                       mh=self.mh, proxy_id=self.proxy_id,
+                                       request_id=msg.request_id)
             self.instr.metrics.incr("proxy_requests_completed", node=self.host.node_id)
             self.instr.metrics.observe(
                 "request_completion_time", self.sim.now - record.issued_at)

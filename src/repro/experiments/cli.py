@@ -34,6 +34,8 @@ from .an11_triangle import run_an11
 from .an12_proxy_migration import run_an12
 from .an13_mss_failures import run_an13
 from .scenarios import run_fig1, run_fig3, run_fig4
+from ..errors import ConfigError
+from ..verify import fuzz as fuzz_mod
 
 
 def _fig1_text() -> str:
@@ -128,6 +130,22 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--out", type=pathlib.Path,
                         default=pathlib.Path("REPORT.md"),
                         help="report file (default: REPORT.md)")
+    fuzz = sub.add_parser(
+        "fuzz", help="fuzz randomized fault schedules with the invariant "
+                     "oracle attached (see docs/TESTING.md)")
+    fuzz.add_argument("--seeds", type=int, default=50,
+                      help="number of consecutive seeds to run (default 50)")
+    fuzz.add_argument("--base-seed", type=int, default=0,
+                      help="first seed (default 0)")
+    fuzz.add_argument("--protocol", choices=sorted(fuzz_mod.PROTOCOLS),
+                      default="rdp",
+                      help="MSS variant to fuzz (default rdp)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip delta-debugging failing schedules")
+    fuzz.add_argument("--out", type=pathlib.Path, default=None,
+                      help="directory to write repro seed files into")
+    fuzz.add_argument("--replay", type=pathlib.Path, default=None,
+                      help="replay one repro seed file instead of fuzzing")
     return parser
 
 
@@ -151,12 +169,50 @@ def write_report(ids: List[str], out: pathlib.Path) -> str:
     return body
 
 
+def run_fuzz(args: argparse.Namespace) -> int:
+    """The ``fuzz`` subcommand: campaign or single-file replay."""
+    if args.replay is not None:
+        try:
+            case, protocol = fuzz_mod.load_case(args.replay)
+        except (OSError, ConfigError) as exc:
+            print(f"cannot read repro file: {exc}")
+            return 2
+        result = fuzz_mod.run_case(case, protocol)
+        print(f"replayed {args.replay} (seed {case.seed}, {protocol}, "
+              f"{len(case.ops)} ops): "
+              f"{'no violations' if result.ok else ''}")
+        for violation in result.violations:
+            print(violation.describe())
+        return 0 if result.ok else 1
+
+    started = time.time()
+    campaign = fuzz_mod.run_campaign(
+        seeds=args.seeds, base_seed=args.base_seed, protocol=args.protocol,
+        shrink=not args.no_shrink, out_dir=args.out,
+        progress=lambda line: print(f"  FAIL {line}"))
+    elapsed = time.time() - started
+    print(f"fuzzed {campaign.seeds} seeds ({args.protocol}, base "
+          f"{campaign.base_seed}) in {elapsed:.1f}s: "
+          f"{campaign.requests_delivered}/{campaign.requests_issued} "
+          f"requests delivered, {len(campaign.failures)} failing seeds")
+    for failure in campaign.failures:
+        ops = len(failure.shrunk.ops)
+        where = f" -> {failure.repro_path}" if failure.repro_path else ""
+        print(f"  seed {failure.seed}: {', '.join(failure.invariants)} "
+              f"(shrunk to {ops} ops){where}")
+        for violation in failure.violations[:3]:
+            print(f"    {violation}")
+    return 0 if campaign.ok else 1
+
+
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for exp_id in EXPERIMENTS:
             print(f"{exp_id:<6} {DESCRIPTIONS[exp_id]}")
         return 0
+    if args.command == "fuzz":
+        return run_fuzz(args)
 
     ids = list(EXPERIMENTS) if not args.ids or "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]

@@ -149,6 +149,12 @@ class RdpClient:
             for callback in list(pending.callbacks):
                 callback(payload)
 
+    def cancel_retries(self) -> None:
+        """Stop all retry timers (e.g. when a harness winds a run down)."""
+        for timer in self._retry_timers.values():
+            timer.cancel()
+        self._retry_timers.clear()
+
     # -- observation ------------------------------------------------------------------
 
     @property

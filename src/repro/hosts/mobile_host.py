@@ -219,6 +219,8 @@ class MobileHost:
         if self.state is not MhState.ACTIVE:
             raise ProtocolError(f"{self.node_id} cannot send requests while {self.state}")
         rid = request_id or self.new_request_id()
+        self.instr.recorder.record(self.sim.now, "request", self.node_id,
+                                   request_id=rid, service=service)
         msg = RequestMsg(mh=self.node_id, request_id=rid,
                          service=service, payload=payload)
         if not self.registered:

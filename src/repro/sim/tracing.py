@@ -14,6 +14,13 @@ Record kinds used by the library:
 * ``handoff_start`` / ``handoff_done`` — hand-off protocol
 * ``migrate`` / ``activate`` / ``deactivate`` — mobile host state
 * ``retransmit`` — a proxy re-sent a stored result
+* ``request`` — a mobile host issued a client request
+* ``register`` — an MSS registered an MH (join / greet / hand-off)
+* ``proxy_ack`` — a proxy received the Ack completing one request
+
+Online consumers (e.g. the invariant oracle in :mod:`repro.verify`)
+subscribe with :meth:`TraceRecorder.add_sink`; every record that passes
+the enabled/kinds filter is pushed to each sink as it is produced.
 """
 
 from __future__ import annotations
@@ -56,8 +63,19 @@ class TraceRecorder:
         self.enabled = enabled
         self._kinds = set(kinds) if kinds is not None else None
         self._records: List[TraceRecord] = []
-        self._sink = sink
+        self._sinks: List[Callable[[TraceRecord], None]] = []
+        if sink is not None:
+            self._sinks.append(sink)
         self.counts: Dict[str, int] = {}
+
+    def add_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Subscribe *sink* to every record that passes the filters."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink: Callable[[TraceRecord], None]) -> None:
+        """Unsubscribe a previously added sink (no-op when absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
 
     def record(self, time: float, kind: str, node: str, **fields: Any) -> None:
         """Record one row (cheap no-op when disabled or filtered out)."""
@@ -68,8 +86,8 @@ class TraceRecorder:
             return
         rec = TraceRecord(time=time, kind=kind, node=node, fields=dict(fields))
         self._records.append(rec)
-        if self._sink is not None:
-            self._sink(rec)
+        for sink in self._sinks:
+            sink(rec)
 
     @property
     def records(self) -> List[TraceRecord]:

@@ -260,13 +260,15 @@ class MobileSupportStation:
 
     # -- registration (join / leave / greet) ---------------------------------
 
-    def _register(self, mh: NodeId, seq: int) -> None:
+    def _register(self, mh: NodeId, seq: int, how: str = "join") -> None:
         self.local_mhs.add(mh)
         self.prefs.ensure(mh)
         self._reg_seqs[mh] = seq
         self._deregistered.discard(mh)
         for key in [k for k in self._failed_acquisitions if k[0] == mh]:
             del self._failed_acquisitions[key]
+        self.instr.recorder.record(self.sim.now, "register", self.node_id,
+                                   mh=mh, seq=seq, how=how)
         self._downlink(mh, RegisteredMsg(mh=mh, seq=seq))
 
     def _known_seq(self, mh: NodeId) -> int:
@@ -279,10 +281,8 @@ class MobileSupportStation:
             self._downlink(msg.mh, RegisteredMsg(mh=msg.mh,
                                                  seq=self._known_seq(msg.mh)))
             return
-        self._register(msg.mh, msg.seq)
+        self._register(msg.mh, msg.seq, how="join")
         if not already:
-            self.instr.recorder.record(self.sim.now, "register", self.node_id,
-                                       mh=msg.mh, how="join")
             self.instr.metrics.incr("mh_joins", node=self.node_id)
 
     def _on_leave(self, msg: LeaveMsg) -> None:
@@ -317,7 +317,7 @@ class MobileSupportStation:
             # that hand-off reached us: we still own the state, so simply
             # re-register under the new incarnation.  The superseded
             # hand-off's dereg will be rejected as stale when it arrives.
-            self._register(mh, msg.seq)
+            self._register(mh, msg.seq, how="bounce")
             self.instr.metrics.incr("bounce_re_registrations", node=self.node_id)
             pref = self.prefs.ensure(mh)
             if pref.ref is not None:
@@ -380,7 +380,7 @@ class MobileSupportStation:
             if mh in self._incoming:
                 self.instr.metrics.incr("duplicate_greets", node=self.node_id)
                 return
-        self._register(mh, seq)
+        self._register(mh, seq, how="reactivate")
         self.instr.metrics.incr("reactivations", node=self.node_id)
         pref = self.prefs.ensure(mh)
         retained = self._retained.get(mh)
@@ -580,7 +580,7 @@ class MobileSupportStation:
                 self.instr.metrics.incr("blind_re_registrations",
                                         node=self.node_id)
                 self._failed_acquisitions.pop(failures_key, None)
-                self._register(mh, record.seq)
+                self._register(mh, record.seq, how="blind")
                 self._flush_pending_deregs(mh)
             else:
                 self._reject_pending_deregs(mh)
@@ -609,14 +609,15 @@ class MobileSupportStation:
         del self._incoming[mh]
         reg_seq = max(record.seq, msg.seq)
         pref = self.prefs.install(mh, msg.pref.ref, msg.pref.rkpr)
-        self._register(mh, reg_seq)
+        self._register(mh, reg_seq, how="handoff")
         self._install_handoff_state(msg)
         if record is not None:
             duration = self.sim.now - record.started_at
             self.instr.metrics.observe("handoff_duration", duration)
             self.instr.recorder.record(
                 self.sim.now, "handoff_done", self.node_id,
-                mh=mh, old=record.old_mss, duration=duration)
+                mh=mh, old=record.old_mss, duration=duration,
+                proxy_id=(pref.ref.proxy_id if pref.ref else None))
         self.instr.metrics.incr("handoffs_completed", node=self.node_id)
         if pref.ref is not None:
             self._send_update_currentloc(mh, pref.ref)
@@ -733,17 +734,19 @@ class MobileSupportStation:
         state = proxy.export_state()
         state_bytes = proxy.state_bytes()
         proxy.mark_migrated()
-        # For the trace-level custody checks this host's copy is gone.
-        self.instr.recorder.record(self.sim.now, "proxy_delete", self.node_id,
-                                   mh=msg.mh, proxy_id=msg.proxy_id)
         new_ref = ProxyRef(mss=msg.src, proxy_id=msg.new_proxy_id)
         self._proxy_stubs[msg.proxy_id] = new_ref
         self.sim.schedule(self.config.stub_ttl, self._expire_stub,
                           msg.proxy_id, label="mss:stub-ttl")
         self.instr.metrics.incr("proxies_moved_out", node=self.node_id)
+        # Custody transfer first, then the trace-level disappearance of
+        # this host's copy, so online checkers can re-home outstanding
+        # requests before seeing the delete.
         self.instr.recorder.record(self.sim.now, "proxy_move", self.node_id,
                                    mh=msg.mh, proxy_id=msg.proxy_id,
-                                   to=msg.src)
+                                   to=msg.src, new_proxy_id=msg.new_proxy_id)
+        self.instr.recorder.record(self.sim.now, "proxy_delete", self.node_id,
+                                   mh=msg.mh, proxy_id=msg.proxy_id)
         self._wired_send(msg.src, ProxyMoveMsg(
             mh=msg.mh, new_proxy_id=msg.new_proxy_id,
             state=state, state_bytes=state_bytes))

@@ -1,0 +1,436 @@
+"""Deterministic fault-injection fuzzing with the oracle attached.
+
+One root seed fully determines a *case*: an environment profile (wireless
+loss, Ack/processing delays, wired latency jitter) plus a randomized
+schedule of migrations, activity toggles, request bursts and duplicate
+uplinks.  ``run_case`` replays a case through the simulator with every
+invariant checker subscribed to the live trace; ``shrink_case`` reduces a
+failing schedule to a minimal reproducer (delta debugging over the op
+list); ``save_repro``/``load_case`` round-trip cases through JSON seed
+files so a failure found in a campaign can be pinned as a regression
+test (see ``tests/corpus/``).
+
+Everything here is deterministic: cases come from ``random.Random(seed)``
+and the simulation itself draws only from the world's named RNG streams,
+so the same seed produces the same trace (up to process-global id
+counters — compare with :func:`repro.verify.canonical.canonical_lines`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from random import Random
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import DirectDeliveryMss, ItcpLikeMss, mobile_ip_config
+from ..config import LatencySpec, WorldConfig
+from ..errors import ConfigError
+from ..net.latency import ExponentialLatency
+from ..types import MhState
+from ..world import World
+from .canonical import canonical_lines
+from .oracle import InvariantChecker, InvariantViolation, Oracle, default_checkers
+
+REPRO_FORMAT = "rdp-fuzz-repro"
+REPRO_VERSION = 1
+
+PROTOCOLS = ("rdp", "mobile_ip", "itcp", "direct")
+
+_OPS = ("migrate", "deactivate", "activate", "request", "burst", "resend")
+
+
+@dataclass(frozen=True)
+class FuzzOp:
+    """One scheduled action against one mobile host."""
+
+    time: float
+    op: str
+    host: str
+    arg: Optional[int] = None
+
+    def as_list(self) -> List[Any]:
+        return [self.time, self.op, self.host, self.arg]
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Environment knobs drawn once per case."""
+
+    wireless_loss: float = 0.0
+    ack_delay: float = 0.0
+    proc_delay: float = 0.0
+    wired_jitter: float = 0.0
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Shape of generated cases (not drawn from the seed)."""
+
+    n_hosts: int = 3
+    n_cells: int = 4
+    duration: float = 40.0
+    ops_per_host: int = 14
+    max_loss: float = 0.25
+    retry_interval: float = 4.0
+    drain_rounds: int = 10
+    drain_window: float = 25.0
+    # Wired delivery ordering; "raw" is the an6-style ablation that the
+    # causal checker exists to catch.
+    ordering: str = "causal"
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """A fully determined input: seed + profile + op schedule."""
+
+    seed: int
+    profile: FuzzProfile
+    config: FuzzConfig
+    ops: Tuple[FuzzOp, ...]
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of running one case under one protocol."""
+
+    case: FuzzCase
+    protocol: str
+    violations: List[InvariantViolation]
+    trace: List[str] = field(default_factory=list)
+    requests_issued: int = 0
+    requests_delivered: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def invariants_hit(self) -> List[str]:
+        return sorted({v.invariant for v in self.violations})
+
+
+# -- case generation ---------------------------------------------------------
+
+def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
+    """Expand one seed into a case (pure function of its arguments)."""
+    config = config or FuzzConfig()
+    rng = Random(seed)
+    profile = FuzzProfile(
+        wireless_loss=round(rng.uniform(0.0, config.max_loss), 3),
+        ack_delay=rng.choice((0.0, 0.0, 0.01, 0.05)),
+        proc_delay=rng.choice((0.0, 0.0, 0.001, 0.01)),
+        wired_jitter=rng.choice((0.0, 0.002, 0.008)),
+    )
+    ops: List[FuzzOp] = []
+    latest = max(2.0, config.duration - 8.0)
+    for h in range(config.n_hosts):
+        host = f"mh{h}"
+        for _ in range(config.ops_per_host):
+            t = round(rng.uniform(1.0, latest), 3)
+            kind = rng.choices(
+                _OPS, weights=(30, 15, 15, 30, 5, 5))[0]
+            arg: Optional[int] = None
+            if kind == "migrate":
+                arg = rng.randrange(config.n_cells)
+            elif kind in ("request", "burst"):
+                arg = rng.randrange(1_000)
+            elif kind == "resend":
+                arg = rng.randrange(16)
+            ops.append(FuzzOp(time=t, op=kind, host=host, arg=arg))
+    ops.sort(key=lambda o: (o.time, o.host, o.op, -1 if o.arg is None else o.arg))
+    return FuzzCase(seed=seed, profile=profile, config=config, ops=tuple(ops))
+
+
+# -- running -----------------------------------------------------------------
+
+def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
+    """The world a case runs in; protocol picks the MSS variant."""
+    if protocol not in PROTOCOLS:
+        raise ConfigError(f"unknown fuzz protocol {protocol!r}")
+    profile = case.profile
+    jitter = profile.wired_jitter
+    config = WorldConfig(
+        seed=case.seed,
+        n_cells=case.config.n_cells,
+        topology="ring" if case.config.n_cells >= 3 else "line",
+        wired_latency=(LatencySpec(kind="uniform", mean=0.010, spread=jitter)
+                       if jitter else LatencySpec(mean=0.010)),
+        wireless_latency=LatencySpec(mean=0.005),
+        wireless_loss=profile.wireless_loss,
+        ack_delay=profile.ack_delay,
+        proc_delay=profile.proc_delay,
+        ordering=case.config.ordering,
+        trace=True,
+    )
+    if protocol == "rdp":
+        world = World(config)
+    elif protocol == "mobile_ip":
+        world = World(mobile_ip_config(config))
+    elif protocol == "itcp":
+        world = World(config, mss_class=ItcpLikeMss)
+    else:
+        world = World(config, mss_class=DirectDeliveryMss)
+    world.add_server("echo", service_time=ExponentialLatency(
+        scale=0.4, floor=0.05))
+    # Client retries recover lost uplinks for protocols that store
+    # results; the direct baseline gets none so its losses stay visible.
+    retry = None if protocol == "direct" else case.config.retry_interval
+    for h in range(case.config.n_hosts):
+        world.add_host(f"mh{h}", world.cells[h % case.config.n_cells],
+                       retry_interval=retry)
+    return world
+
+
+def _execute(world: World, op: FuzzOp) -> None:
+    """Fire one op, skipping it when the host's state forbids it (the
+    guard makes every schedule valid, which keeps shrinking simple)."""
+    host = world.hosts[op.host]
+    client = world.clients[op.host]
+    if op.op == "migrate":
+        if host.state is not MhState.LEFT:
+            host.migrate_to(world.cells[(op.arg or 0) % len(world.cells)])
+    elif op.op == "deactivate":
+        if host.state is MhState.ACTIVE:
+            host.deactivate()
+    elif op.op == "activate":
+        if host.state is MhState.INACTIVE:
+            host.activate()
+    elif op.op == "request":
+        if host.state is MhState.ACTIVE:
+            client.request("echo", {"n": op.arg})
+    elif op.op == "burst":
+        if host.state is MhState.ACTIVE:
+            for i in range(3):
+                client.request("echo", {"n": op.arg, "burst": i})
+    elif op.op == "resend":
+        if host.state is MhState.ACTIVE and host.registered:
+            outstanding = [p for p in client.requests.values() if not p.done]
+            if outstanding:
+                pending = outstanding[(op.arg or 0) % len(outstanding)]
+                host.resend_request(pending.request_id, pending.service,
+                                    pending.payload)
+    else:  # pragma: no cover - generate_case only emits known ops
+        raise ConfigError(f"unknown fuzz op {op.op!r}")
+
+
+def _outstanding(world: World) -> int:
+    return sum(len(c.outstanding) for c in world.clients.values())
+
+
+def _drain(world: World, rounds: int, window: float) -> None:
+    """Drive toward quiescence without ever raising: activity toggles
+    trigger reactivation greets (and thus proxy re-sends); protocols that
+    lose results (direct) simply stop making progress and we move on."""
+    for driver in world.drivers:
+        driver.stop()
+    for host in world.hosts.values():
+        if host.state is MhState.INACTIVE:
+            host.activate()
+    world.sim.run(until=world.sim.now + window)
+    stale = 0
+    previous = _outstanding(world)
+    for _ in range(rounds):
+        if previous == 0:
+            break
+        for host in world.hosts.values():
+            if host.state is MhState.ACTIVE:
+                host.deactivate()
+        world.sim.run(until=world.sim.now + window / 2)
+        for host in world.hosts.values():
+            if host.state is MhState.INACTIVE:
+                host.activate()
+        world.sim.run(until=world.sim.now + window)
+        now_outstanding = _outstanding(world)
+        stale = stale + 1 if now_outstanding == previous else 0
+        previous = now_outstanding
+        if stale >= 3:
+            break
+    for client in world.clients.values():
+        client.cancel_retries()
+    world.sim.run(until=world.sim.now + window)
+
+
+def run_case(case: FuzzCase, protocol: str = "rdp",
+             checkers: Optional[List[InvariantChecker]] = None,
+             keep_trace: bool = False) -> FuzzResult:
+    """Run one case with the oracle attached; never raises on violations."""
+    world = build_fuzz_world(case, protocol)
+    oracle = Oracle(checkers if checkers is not None else default_checkers())
+    oracle.attach(world.recorder)
+    for op in case.ops:
+        world.sim.schedule_at(op.time, _execute, world, op, label=f"fuzz:{op.op}")
+    world.run(until=case.config.duration)
+    _drain(world, case.config.drain_rounds, case.config.drain_window)
+    oracle.finish()
+    oracle.detach()
+    issued = sum(len(c.requests) for c in world.clients.values())
+    delivered = sum(len(c.completed) for c in world.clients.values())
+    return FuzzResult(
+        case=case, protocol=protocol, violations=oracle.violations,
+        trace=canonical_lines(world.recorder.records) if keep_trace else [],
+        requests_issued=issued, requests_delivered=delivered,
+    )
+
+
+# -- shrinking ---------------------------------------------------------------
+
+def shrink_case(case: FuzzCase, protocol: str,
+                target_invariants: Optional[Sequence[str]] = None,
+                max_runs: int = 120) -> FuzzCase:
+    """Delta-debug the op schedule down to a minimal reproducer.
+
+    A candidate reproduces when it still violates at least one of
+    ``target_invariants`` (default: whatever the full case violates).
+    The profile and seed are kept fixed — only ops are removed — so the
+    result replays in the exact same environment.
+    """
+    if target_invariants is None:
+        target_invariants = run_case(case, protocol).invariants_hit()
+    target = set(target_invariants)
+    if not target:
+        return case
+
+    runs = 0
+
+    def reproduces(ops: Sequence[FuzzOp]) -> bool:
+        nonlocal runs
+        runs += 1
+        trial = replace(case, ops=tuple(ops))
+        result = run_case(trial, protocol)
+        return bool(target & set(result.invariants_hit()))
+
+    ops: List[FuzzOp] = list(case.ops)
+    granularity = 2
+    while len(ops) >= 2 and runs < max_runs:
+        chunk = math.ceil(len(ops) / granularity)
+        reduced = False
+        for start in range(0, len(ops), chunk):
+            candidate = ops[:start] + ops[start + chunk:]
+            if not candidate:
+                continue
+            if runs >= max_runs:
+                break
+            if reproduces(candidate):
+                ops = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(ops):
+                break
+            granularity = min(len(ops), granularity * 2)
+    return replace(case, ops=tuple(ops))
+
+
+# -- repro files -------------------------------------------------------------
+
+def case_to_dict(case: FuzzCase, protocol: str,
+                 violations: Optional[Sequence[InvariantViolation]] = None,
+                 ) -> Dict[str, Any]:
+    return {
+        "format": REPRO_FORMAT,
+        "version": REPRO_VERSION,
+        "seed": case.seed,
+        "protocol": protocol,
+        "profile": asdict(case.profile),
+        "config": asdict(case.config),
+        "ops": [op.as_list() for op in case.ops],
+        "violations": [str(v) for v in (violations or [])],
+    }
+
+
+def save_repro(path: Path, case: FuzzCase, protocol: str,
+               violations: Optional[Sequence[InvariantViolation]] = None,
+               ) -> Path:
+    """Write a replayable seed file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(case_to_dict(case, protocol, violations),
+                               indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_case(path: Path) -> Tuple[FuzzCase, str]:
+    """Read a seed file back into a (case, protocol) pair."""
+    data = json.loads(Path(path).read_text())
+    if data.get("format") != REPRO_FORMAT:
+        raise ConfigError(f"{path} is not a {REPRO_FORMAT} file")
+    ops = []
+    for entry in data["ops"]:
+        try:
+            time, op, host, arg = entry
+            ops.append(FuzzOp(time=float(time), op=str(op), host=str(host),
+                              arg=arg))
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"{path}: malformed op {entry!r} — expected "
+                "[time, op, host, arg]") from exc
+    case = FuzzCase(
+        seed=int(data["seed"]),
+        profile=FuzzProfile(**data["profile"]),
+        config=FuzzConfig(**data["config"]),
+        ops=tuple(ops),
+    )
+    return case, str(data["protocol"])
+
+
+# -- campaigns ---------------------------------------------------------------
+
+@dataclass
+class FuzzFailure:
+    """One failing seed, shrunk and (optionally) written to disk."""
+
+    seed: int
+    invariants: List[str]
+    violations: List[InvariantViolation]
+    shrunk: FuzzCase
+    repro_path: Optional[Path] = None
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of a multi-seed campaign."""
+
+    protocol: str
+    base_seed: int
+    seeds: int
+    failures: List[FuzzFailure] = field(default_factory=list)
+    requests_issued: int = 0
+    requests_delivered: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def run_campaign(seeds: int, base_seed: int = 0, protocol: str = "rdp",
+                 config: Optional[FuzzConfig] = None, shrink: bool = True,
+                 out_dir: Optional[Path] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 ) -> CampaignResult:
+    """Fuzz ``seeds`` consecutive seeds; shrink and save each failure."""
+    campaign = CampaignResult(protocol=protocol, base_seed=base_seed,
+                              seeds=seeds)
+    for i in range(seeds):
+        seed = base_seed + i
+        case = generate_case(seed, config)
+        result = run_case(case, protocol)
+        campaign.requests_issued += result.requests_issued
+        campaign.requests_delivered += result.requests_delivered
+        if result.ok:
+            continue
+        hit = result.invariants_hit()
+        if progress is not None:
+            progress(f"seed {seed}: {', '.join(hit)}")
+        shrunk = (shrink_case(case, protocol, hit) if shrink else case)
+        repro_path = None
+        if out_dir is not None:
+            repro_path = save_repro(
+                Path(out_dir) / f"{protocol}-seed{seed}.json",
+                shrunk, protocol, result.violations)
+        campaign.failures.append(FuzzFailure(
+            seed=seed, invariants=hit, violations=result.violations,
+            shrunk=shrunk, repro_path=repro_path))
+    return campaign

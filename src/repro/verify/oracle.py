@@ -1,0 +1,414 @@
+"""Online invariant oracle over the structured trace stream.
+
+Each :class:`InvariantChecker` consumes :class:`~repro.sim.tracing.TraceRecord`
+rows as they are produced (via :meth:`TraceRecorder.add_sink`) and keeps
+just enough state to decide one protocol guarantee:
+
+* :class:`ExactlyOnceDelivery` — an MH application never sees the same
+  request's result twice (paper, assumption 5);
+* :class:`NoLostResult` — every issued request is eventually delivered
+  (checked at :meth:`Oracle.finish`, i.e. after the run was driven to
+  quiescence);
+* :class:`SingleProxyPerSeries` — a superseded proxy never admits another
+  request, and every superseded proxy is eventually deleted (the online
+  counterpart of ``analysis.verify.check_proxy_uniqueness_over_time``);
+* :class:`SafeProxyDeletion` — a proxy is only deleted once every request
+  it admitted has been acknowledged (Section 3.3's del-pref / RKpR /
+  del-proxy guarantee); custody transfers (``proxy_move``) re-home the
+  outstanding set instead of discharging it;
+* :class:`CausalWiredOrder` — wired deliveries respect the causal order
+  of their sends (assumption 1), checked with vector clocks rebuilt from
+  the trace alone;
+* :class:`PrefHandoverConsistency` — at most one MSS considers itself an
+  MH's respMss at any time, and a completed hand-off carries a proxy
+  reference that actually exists.
+
+Checkers either raise :class:`InvariantViolation` immediately
+(``raise_immediately=True``) or collect violations for inspection after
+the run — the fuzz harness uses the collecting mode so one schedule can
+surface several distinct failures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..errors import VerificationError
+from ..net.vectorclock import VectorClock
+from ..sim.tracing import TraceRecord, TraceRecorder
+
+
+class InvariantViolation(VerificationError):
+    """One broken invariant, with the trace slice that led up to it."""
+
+    def __init__(self, invariant: str, time: float, message: str,
+                 trace_slice: Optional[List[TraceRecord]] = None) -> None:
+        super().__init__(f"[{invariant}] t={time:.4f}: {message}")
+        self.invariant = invariant
+        self.time = time
+        self.detail = message
+        self.trace_slice = list(trace_slice or [])
+
+    def describe(self) -> str:
+        lines = [str(self)]
+        for rec in self.trace_slice:
+            lines.append(f"    {rec!r}")
+        return "\n".join(lines)
+
+
+class InvariantChecker:
+    """Base class: subscribes to trace rows, reports through the oracle."""
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self._oracle: Optional["Oracle"] = None
+
+    def bind(self, oracle: "Oracle") -> None:
+        self._oracle = oracle
+
+    def fail(self, time: float, message: str) -> None:
+        assert self._oracle is not None, "checker used without an Oracle"
+        self._oracle.report(InvariantViolation(
+            self.name, time, message, trace_slice=self._oracle.window()))
+
+    def on_record(self, rec: TraceRecord) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def finish(self, time: float) -> None:
+        """End-of-run (liveness) checks; default: nothing."""
+
+
+class ExactlyOnceDelivery(InvariantChecker):
+    """No MH delivers the same request's result to the application twice."""
+
+    name = "exactly_once_delivery"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._delivered: Set[Tuple[str, str]] = set()
+
+    def on_record(self, rec: TraceRecord) -> None:
+        if rec.kind != "deliver":
+            return
+        key = (rec.node, str(rec.get("request_id")))
+        if key in self._delivered:
+            self.fail(rec.time,
+                      f"{rec.node} delivered request {key[1]} twice "
+                      f"(delivery_id={rec.get('delivery_id')})")
+        self._delivered.add(key)
+
+
+class NoLostResult(InvariantChecker):
+    """Every issued request is eventually delivered (liveness; checked at
+    ``finish`` — only meaningful once the run was driven to quiescence)."""
+
+    name = "no_lost_result"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pending: Dict[Tuple[str, str], float] = {}
+
+    def on_record(self, rec: TraceRecord) -> None:
+        if rec.kind == "request":
+            key = (rec.node, str(rec.get("request_id")))
+            self._pending.setdefault(key, rec.time)
+        elif rec.kind == "deliver":
+            self._pending.pop((rec.node, str(rec.get("request_id"))), None)
+
+    def finish(self, time: float) -> None:
+        for (node, rid), issued in sorted(self._pending.items(),
+                                          key=lambda kv: (kv[1], kv[0])):
+            self.fail(time,
+                      f"request {rid} issued by {node} at t={issued:.4f} "
+                      f"was never delivered")
+
+
+class SingleProxyPerSeries(InvariantChecker):
+    """One serving proxy per MH: creating a successor condemns the older
+    proxy, which may linger only until its del-proxy completes — it must
+    never admit another request, and it must eventually be deleted."""
+
+    name = "single_proxy_per_series"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._open: Dict[str, Set[str]] = {}
+        self._condemned: Set[Tuple[str, str]] = set()
+        self._host_of: Dict[str, str] = {}
+
+    def on_record(self, rec: TraceRecord) -> None:
+        kind = rec.kind
+        if kind == "proxy_create":
+            mh = str(rec.get("mh"))
+            pid = str(rec.get("proxy_id"))
+            for older in self._open.setdefault(mh, set()):
+                self._condemned.add((mh, older))
+            self._open[mh].add(pid)
+            self._host_of[pid] = rec.node
+        elif kind == "proxy_delete":
+            mh = str(rec.get("mh"))
+            pid = str(rec.get("proxy_id"))
+            self._open.get(mh, set()).discard(pid)
+            self._condemned.discard((mh, pid))
+            self._host_of.pop(pid, None)
+        elif kind == "proxy_admit":
+            key = (str(rec.get("mh")), str(rec.get("proxy_id")))
+            if key in self._condemned:
+                self.fail(rec.time,
+                          f"superseded proxy {key[1]} of {key[0]} admitted "
+                          f"request {rec.get('request_id')}")
+        elif kind == "mss_crash":
+            # An injected crash loses proxy state without delete records;
+            # the invariant restarts for proxies hosted at that station.
+            dead = {pid for pid, node in self._host_of.items()
+                    if node == rec.node}
+            for pid in dead:
+                del self._host_of[pid]
+                for mh, open_set in self._open.items():
+                    open_set.discard(pid)
+                self._condemned = {(mh, p) for (mh, p) in self._condemned
+                                   if p not in dead}
+
+    def finish(self, time: float) -> None:
+        for mh, pid in sorted(self._condemned):
+            self.fail(time, f"superseded proxy {pid} of {mh} never deleted")
+
+
+class SafeProxyDeletion(InvariantChecker):
+    """A proxy disappears only after every admitted request was Acked.
+
+    ``proxy_move`` transfers custody: the outstanding set follows the new
+    ``proxy_id`` and is re-attached when the destination records the
+    matching ``proxy_create`` — so the migration-time ``proxy_delete`` at
+    the old host is exempt, but a deletion that strands un-Acked requests
+    anywhere else is a safety violation.
+    """
+
+    name = "safe_proxy_deletion"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._outstanding: Dict[str, Set[str]] = {}
+        self._in_transfer: Dict[str, Set[str]] = {}
+        self._host_of: Dict[str, str] = {}
+
+    def on_record(self, rec: TraceRecord) -> None:
+        kind = rec.kind
+        if kind == "proxy_create":
+            pid = str(rec.get("proxy_id"))
+            moved = self._in_transfer.pop(pid, set())
+            self._outstanding.setdefault(pid, set()).update(moved)
+            self._host_of[pid] = rec.node
+        elif kind == "proxy_admit":
+            pid = str(rec.get("proxy_id"))
+            self._outstanding.setdefault(pid, set()).add(
+                str(rec.get("request_id")))
+        elif kind == "proxy_ack":
+            pid = str(rec.get("proxy_id"))
+            self._outstanding.get(pid, set()).discard(
+                str(rec.get("request_id")))
+        elif kind == "proxy_move":
+            old = str(rec.get("proxy_id"))
+            new = str(rec.get("new_proxy_id"))
+            self._in_transfer[new] = self._outstanding.pop(old, set())
+        elif kind == "proxy_delete":
+            pid = str(rec.get("proxy_id"))
+            left = self._outstanding.pop(pid, set())
+            self._host_of.pop(pid, None)
+            if left:
+                self.fail(rec.time,
+                          f"proxy {pid} of {rec.get('mh')} deleted with "
+                          f"{len(left)} un-Acked requests: {sorted(left)}")
+        elif kind == "mss_crash":
+            for pid in [p for p, node in self._host_of.items()
+                        if node == rec.node]:
+                self._outstanding.pop(pid, None)
+                del self._host_of[pid]
+
+
+class CausalWiredOrder(InvariantChecker):
+    """Wired deliveries respect the causal order of their sends.
+
+    Vector clocks are rebuilt from the trace alone (one component per
+    sending node, ticked on each wired ``send``; receivers merge the
+    stamp on ``recv``), so the checker is independent of the ordering
+    layer it audits: running it over a ``raw``-ordered world with latency
+    jitter makes it fire.  A violation is a message delivered *after*
+    some message whose send it causally preceded, at the same receiver.
+    """
+
+    name = "causal_wired_order"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clocks: Dict[str, VectorClock] = {}
+        self._stamps: Dict[int, VectorClock] = {}
+        self._frontiers: Dict[str, List[VectorClock]] = {}
+
+    def _clock(self, node: str) -> VectorClock:
+        clock = self._clocks.get(node)
+        if clock is None:
+            clock = self._clocks[node] = VectorClock()
+        return clock
+
+    def on_record(self, rec: TraceRecord) -> None:
+        if rec.get("net") != "wired":
+            return
+        if rec.kind == "send":
+            clock = self._clock(rec.node)
+            clock.tick(rec.node)
+            self._stamps[rec.get("msg_id")] = clock.copy()
+        elif rec.kind == "recv":
+            stamp = self._stamps.pop(rec.get("msg_id"), None)
+            if stamp is None:
+                return
+            frontier = self._frontiers.setdefault(rec.node, [])
+            for delivered in frontier:
+                if stamp < delivered:
+                    self.fail(rec.time,
+                              f"{rec.node} received {rec.get('msg')} "
+                              f"#{rec.get('msg_id')} from {rec.get('src')} "
+                              f"after a message its send causally precedes")
+                    break
+            self._clock(rec.node).merge(stamp)
+            frontier[:] = [d for d in frontier if not d <= stamp]
+            frontier.append(stamp)
+
+
+class PrefHandoverConsistency(InvariantChecker):
+    """At most one respMss per MH, and hand-offs carry real proxy refs.
+
+    Ownership is claimed by ``register`` rows and released by
+    ``handoff_out`` (the old side answered the dereg), ``deregister``
+    (the MH left) and ``mss_crash``.  A ``handoff_done`` whose pref
+    references a ``proxy_id`` that was never created (even following
+    ``proxy_move`` renames) indicates a forked or fabricated custody
+    chain.
+    """
+
+    name = "pref_handover_consistency"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._owner: Dict[str, str] = {}
+        self._ever_created: Set[str] = set()
+        self._renames: Dict[str, str] = {}
+
+    def on_record(self, rec: TraceRecord) -> None:
+        kind = rec.kind
+        if kind == "register":
+            mh = str(rec.get("mh"))
+            owner = self._owner.get(mh)
+            if owner is not None and owner != rec.node:
+                self.fail(rec.time,
+                          f"{rec.node} registered {mh} "
+                          f"(how={rec.get('how')}) while {owner} still "
+                          f"considers itself its respMss")
+            self._owner[mh] = rec.node
+        elif kind == "handoff_out":
+            self._owner.pop(str(rec.get("mh")), None)
+        elif kind == "deregister":
+            self._owner.pop(str(rec.get("mh")), None)
+        elif kind == "mss_crash":
+            for mh in [m for m, node in self._owner.items()
+                       if node == rec.node]:
+                del self._owner[mh]
+        elif kind == "proxy_create":
+            self._ever_created.add(str(rec.get("proxy_id")))
+        elif kind == "proxy_move":
+            new = rec.get("new_proxy_id")
+            if new is not None:
+                self._renames[str(rec.get("proxy_id"))] = str(new)
+        elif kind == "handoff_done":
+            pid = rec.get("proxy_id")
+            if pid is None:
+                return
+            pid = str(pid)
+            seen = set()
+            while pid in self._renames and pid not in seen:
+                seen.add(pid)
+                pid = self._renames[pid]
+            if pid not in self._ever_created:
+                self.fail(rec.time,
+                          f"hand-off of {rec.get('mh')} to {rec.node} "
+                          f"carries unknown proxy reference {pid}")
+
+
+def default_checkers() -> List[InvariantChecker]:
+    """One fresh instance of every checker (safe to attach to one run)."""
+    return [
+        ExactlyOnceDelivery(),
+        NoLostResult(),
+        SingleProxyPerSeries(),
+        SafeProxyDeletion(),
+        CausalWiredOrder(),
+        PrefHandoverConsistency(),
+    ]
+
+
+class Oracle:
+    """Attaches checkers to a recorder; collects or raises violations."""
+
+    WINDOW = 64
+
+    def __init__(self, checkers: Optional[List[InvariantChecker]] = None,
+                 raise_immediately: bool = False) -> None:
+        self.checkers = checkers if checkers is not None else default_checkers()
+        self.raise_immediately = raise_immediately
+        self.violations: List[InvariantViolation] = []
+        self._window: Deque[TraceRecord] = deque(maxlen=self.WINDOW)
+        self._recorder: Optional[TraceRecorder] = None
+        self._now = 0.0
+        for checker in self.checkers:
+            checker.bind(self)
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, recorder: TraceRecorder) -> "Oracle":
+        recorder.add_sink(self._on_record)
+        self._recorder = recorder
+        return self
+
+    def detach(self) -> None:
+        if self._recorder is not None:
+            self._recorder.remove_sink(self._on_record)
+            self._recorder = None
+
+    # -- the sink -----------------------------------------------------------
+
+    def _on_record(self, rec: TraceRecord) -> None:
+        self._window.append(rec)
+        self._now = rec.time
+        for checker in self.checkers:
+            checker.on_record(rec)
+
+    def finish(self, time: Optional[float] = None) -> List[InvariantViolation]:
+        """Run end-of-run liveness checks; returns all violations."""
+        for checker in self.checkers:
+            checker.finish(self._now if time is None else time)
+        return self.violations
+
+    # -- reporting ----------------------------------------------------------
+
+    def window(self) -> List[TraceRecord]:
+        return list(self._window)
+
+    def report(self, violation: InvariantViolation) -> None:
+        self.violations.append(violation)
+        if self.raise_immediately:
+            raise violation
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        if self.ok:
+            return "all invariants held"
+        by_name: Dict[str, int] = {}
+        for violation in self.violations:
+            by_name[violation.invariant] = by_name.get(violation.invariant, 0) + 1
+        parts = [f"{name} x{count}" for name, count in sorted(by_name.items())]
+        return f"{len(self.violations)} violations ({', '.join(parts)})"

@@ -1,0 +1,53 @@
+"""Replay the pinned fuzz corpus as fast regression tests.
+
+``tests/corpus/`` holds seed files produced by the fuzz harness (see
+docs/TESTING.md): shrunk reproducers of baseline weaknesses the oracle
+must keep catching, and stress schedules on which RDP must keep holding
+every invariant.  Assertions are on invariant *outcomes* only — never on
+trace shapes or counts — so unrelated protocol changes don't invalidate
+the corpus.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.verify import load_case, run_case
+
+CORPUS = Path(__file__).parent / "corpus"
+SEED_FILES = sorted(CORPUS.glob("*.json"))
+
+
+def expected_invariants(path: Path) -> set:
+    """Invariant names pinned in the seed file's violations list."""
+    data = json.loads(path.read_text())
+    names = set()
+    for line in data.get("violations", []):
+        match = re.match(r"\[([a-z_]+)\]", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+def test_corpus_is_present():
+    assert SEED_FILES, "tests/corpus/ must contain pinned seed files"
+
+
+@pytest.mark.parametrize("path", SEED_FILES, ids=lambda p: p.stem)
+def test_corpus_seed_replays_to_pinned_outcome(path):
+    case, protocol = load_case(path)
+    result = run_case(case, protocol)
+    expected = expected_invariants(path)
+    if expected:
+        # A pinned failure must keep failing the same invariants (the
+        # oracle's ability to catch this weakness is the regression).
+        assert expected <= set(result.invariants_hit()), (
+            f"{path.name}: expected {sorted(expected)}, "
+            f"got {result.invariants_hit()}")
+    else:
+        # A pinned stress schedule must stay violation-free under RDP.
+        assert result.ok, f"{path.name}: {result.invariants_hit()}"
