@@ -1,0 +1,44 @@
+"""AST-based protocol-conformance and determinism linter.
+
+Static counterpart of the runtime invariant oracle (``repro.verify``):
+where the oracle checks executed schedules, these passes check the
+*structure* of the whole tree — every sent message kind has a handler,
+every result-bearing handler can reach its ack send, and no simulator
+code path depends on wall clocks, process-global randomness, ``id()``/
+``hash()`` values, or set iteration order.
+
+Entry points: :func:`run_analysis` (programmatic),
+``python -m repro.experiments analyze`` (CLI).  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the
+``# repro: allow[RULE]`` suppression syntax, and the baseline ratchet.
+"""
+
+from .baseline import (
+    BaselineComparison,
+    compare,
+    load_baseline,
+    save_baseline,
+)
+from .engine import RULES, AnalysisResult, rule_ids, run_analysis
+from .model import Finding, SourceFile, SourceTree, Suppression
+from .protocol_model import ProtocolModel, build_protocol_model
+from .report import render_findings, render_result
+
+__all__ = [
+    "AnalysisResult",
+    "BaselineComparison",
+    "Finding",
+    "ProtocolModel",
+    "RULES",
+    "SourceFile",
+    "SourceTree",
+    "Suppression",
+    "build_protocol_model",
+    "compare",
+    "load_baseline",
+    "render_findings",
+    "render_result",
+    "rule_ids",
+    "run_analysis",
+    "save_baseline",
+]

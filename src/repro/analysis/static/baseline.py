@@ -1,0 +1,70 @@
+"""Baseline ratchet: CI fails on *new* findings only.
+
+A baseline is a JSON map of finding fingerprints (rule + file +
+normalized source line — line numbers excluded so pure moves don't
+invalidate it) to occurrence counts.  Comparing a run against the
+baseline yields the findings that exceed their baselined count; fixing a
+finding and re-recording shrinks the baseline, so the ratchet only ever
+tightens unless someone deliberately re-records with new debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List
+
+from .model import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class BaselineComparison:
+    """Result of diffing a run against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    fixed: int = 0  # baseline entries no longer observed
+
+    @property
+    def ok(self) -> bool:
+        return not self.new
+
+
+def load_baseline(path: Path) -> Dict[str, int]:
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {data.get('version')!r} in {path}")
+    findings = data.get("findings", {})
+    return {str(k): int(v) for k, v in findings.items()}
+
+
+def save_baseline(path: Path, findings: List[Finding]) -> None:
+    counts = Counter(f.fingerprint() for f in findings)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {fp: counts[fp] for fp in sorted(counts)},
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def compare(findings: List[Finding],
+            baseline: Dict[str, int]) -> BaselineComparison:
+    """Split *findings* into new-vs-baselined; count entries now fixed."""
+    budget = dict(baseline)
+    comparison = BaselineComparison()
+    for finding in findings:
+        fp = finding.fingerprint()
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            comparison.baselined.append(finding)
+        else:
+            comparison.new.append(finding)
+    comparison.fixed = sum(count for count in budget.values() if count > 0)
+    return comparison

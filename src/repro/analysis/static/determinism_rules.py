@@ -1,0 +1,385 @@
+"""Determinism passes (rule ids ``DET00x``).
+
+PR 1's fuzz harness promises *byte-identical replay*: the same seed must
+produce the same canonical trace in any process.  These rules flag code
+patterns that silently break that promise:
+
+* DET001 — wall-clock reads (``time.time`` & friends) in simulator code;
+  simulated time comes from :class:`repro.sim.Simulator`, wall time only
+  from the CLI timing shim (``repro/experiments/_timing.py``).
+* DET002 — process-global randomness (``random.random()``,
+  ``random.Random()`` with no seed) instead of a seeded stream from
+  :mod:`repro.sim.rng`.
+* DET003 — ``id()``/``hash()`` values leaking into behaviour: both vary
+  per process (``PYTHONHASHSEED``), so traces and sort orders built on
+  them differ between runs.
+* DET004 — iteration over a ``set`` with side effects (sends, trace
+  records, scheduling) in the loop body: set order varies per process,
+  so the emitted order does too.
+* DET005 — a new module-level ``itertools.count`` not covered by the
+  canonical-trace renumbering of :mod:`repro.verify.canonical` (global
+  counters survive across runs inside one process, so raw ids differ
+  between a first and second run of the same seed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .model import Finding, SourceFile, SourceTree
+
+_WALLCLOCK_CALLS = {
+    ("time", "time"), ("time", "time_ns"), ("time", "monotonic"),
+    ("time", "monotonic_ns"), ("time", "perf_counter"),
+    ("time", "perf_counter_ns"), ("time", "process_time"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+}
+
+_RANDOM_MODULE_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "vonmisesvariate", "paretovariate",
+    "weibullvariate", "lognormvariate", "getrandbits", "seed", "randbytes",
+}
+
+#: Calls inside a set-iteration body that make its order observable.
+_EFFECT_CALLS = {
+    "record", "incr", "observe", "send", "uplink", "downlink", "schedule",
+    "push", "notify", "fail", "_wired_send", "_downlink",
+    "proxy_wired_send", "_local_deliver", "write",
+}
+
+#: Module-level counters already neutralized by the canonical-trace
+#: renumbering in ``repro/verify/canonical.py`` (or proven never to reach
+#: a trace).  Everything else is a new global-counter hazard.
+COVERED_COUNTERS: Dict[Tuple[str, str], str] = {
+    ("net/message.py", "_msg_counter"): "msg_id (canonical namespace 'm')",
+    ("stations/mss.py", "_proxy_ids"): "proxy_id (canonical namespace 'p')",
+    ("core/proxy.py", "_delivery_ids"): "delivery_id (canonical namespace 'd')",
+    ("hosts/mobile_host.py", "_request_ids"):
+        "request_id (canonical namespace 'q')",
+    ("baselines/direct.py", "_delivery_ids"):
+        "delivery_id (canonical namespace 'd')",
+    ("baselines/itcp_like.py", "_delivery_ids"):
+        "delivery_id (canonical namespace 'd')",
+    ("sim/event.py", "_event_counter"):
+        "event-queue tiebreaker, never serialized into traces",
+}
+
+
+def _dotted(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` as a tuple of names, or None for anything fancier."""
+    parts: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        parts.append(cursor.attr)
+        cursor = cursor.value
+    if isinstance(cursor, ast.Name):
+        parts.append(cursor.id)
+        return tuple(reversed(parts))
+    return None
+
+
+def _module_aliases(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, Tuple[str, str]]]:
+    """(module alias -> module name, bare name -> (module, original name))."""
+    modules: Dict[str, str] = {}
+    names: Dict[str, Tuple[str, str]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                modules[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module is not None:
+            for alias in node.names:
+                names[alias.asname or alias.name] = (node.module, alias.name)
+    return modules, names
+
+
+def rule_wallclock(tree: SourceTree) -> List[Finding]:
+    """DET001: wall-clock access in simulator code."""
+    findings: List[Finding] = []
+    for src in tree:
+        modules, names = _module_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target: Optional[Tuple[str, str]] = None
+            dotted = _dotted(node.func)
+            if dotted is not None and len(dotted) >= 2:
+                head = modules.get(dotted[0], dotted[0]).split(".")[-1]
+                target = (dotted[-2] if len(dotted) > 2 else head, dotted[-1])
+            elif isinstance(node.func, ast.Name):
+                origin = names.get(node.func.id)
+                if origin is not None:
+                    target = (origin[0].split(".")[-1], origin[1])
+            if target in _WALLCLOCK_CALLS:
+                findings.append(src.finding(
+                    "DET001", node.lineno,
+                    f"wall-clock call {'.'.join(target)}() in simulator code",
+                    "use sim.now for simulated time, or the CLI timing shim "
+                    "repro.experiments._timing.wall_clock for progress "
+                    "reporting"))
+    return findings
+
+
+def rule_unseeded_random(tree: SourceTree) -> List[Finding]:
+    """DET002: process-global or unseeded randomness."""
+    findings: List[Finding] = []
+    for src in tree:
+        modules, names = _module_aliases(src.tree)
+        random_aliases = {alias for alias, mod in modules.items()
+                          if mod == "random"}
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if (isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in random_aliases):
+                attr = node.func.attr
+                if attr in _RANDOM_MODULE_FUNCS:
+                    findings.append(src.finding(
+                        "DET002", node.lineno,
+                        f"process-global random.{attr}() — draws depend on "
+                        f"whatever ran before",
+                        "draw from a named RngStreams substream "
+                        "(repro.sim.rng) instead"))
+                elif attr == "Random" and not node.args and not node.keywords:
+                    findings.append(src.finding(
+                        "DET002", node.lineno,
+                        "random.Random() with no seed — seeded from wall "
+                        "clock",
+                        "pass an explicit seed or use RngStreams"))
+            elif isinstance(node.func, ast.Name):
+                origin = names.get(node.func.id)
+                if origin == ("random", "Random") and not node.args \
+                        and not node.keywords:
+                    findings.append(src.finding(
+                        "DET002", node.lineno,
+                        "Random() with no seed — seeded from wall clock",
+                        "pass an explicit seed or use RngStreams"))
+                elif (origin is not None and origin[0] == "random"
+                        and origin[1] in _RANDOM_MODULE_FUNCS):
+                    findings.append(src.finding(
+                        "DET002", node.lineno,
+                        f"process-global random.{origin[1]}() — draws depend "
+                        f"on whatever ran before",
+                        "draw from a named RngStreams substream "
+                        "(repro.sim.rng) instead"))
+    return findings
+
+
+def _enclosing_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            parents[child] = parent
+    return parents
+
+
+def rule_id_hash(tree: SourceTree) -> List[Finding]:
+    """DET003: id()/hash() values leaking into behaviour."""
+    findings: List[Finding] = []
+    for src in tree:
+        parents = _enclosing_map(src.tree)
+
+        def _inside_dunder_hash(node: ast.AST) -> bool:
+            cursor: Optional[ast.AST] = node
+            while cursor is not None:
+                if (isinstance(cursor, ast.FunctionDef)
+                        and cursor.name in ("__hash__", "__eq__")):
+                    return True
+                cursor = parents.get(cursor)
+            return False
+
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("id", "hash")):
+                continue
+            if node.func.id == "hash" and _inside_dunder_hash(node):
+                continue  # defining __hash__ in terms of hash() is fine
+            findings.append(src.finding(
+                "DET003", node.lineno,
+                f"builtin {node.func.id}() varies per process — its value "
+                f"must not reach traces, sort keys, or message fields",
+                "key on a stable identifier (node id, request id) instead"))
+    return findings
+
+
+class _SetAttrCollector(ast.NodeVisitor):
+    """Attributes of a class that are known to hold sets."""
+
+    def __init__(self) -> None:
+        self.set_attrs: Set[str] = set()
+
+    @staticmethod
+    def _is_set_annotation(node: Optional[ast.expr]) -> bool:
+        if node is None:
+            return False
+        name = None
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            name = node.value.split("[")[0].strip()
+        return name in ("Set", "set", "FrozenSet", "frozenset", "MutableSet")
+
+    @staticmethod
+    def _is_set_value(node: Optional[ast.expr]) -> bool:
+        if isinstance(node, ast.Set):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            # dataclasses.field(default_factory=set)
+            if isinstance(node.func, ast.Name) and node.func.id == "field":
+                for kw in node.keywords:
+                    if (kw.arg == "default_factory"
+                            and isinstance(kw.value, ast.Name)
+                            and kw.value.id in ("set", "frozenset")):
+                        return True
+        return False
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        target = node.target
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            name = target.attr
+        if name is not None and (self._is_set_annotation(node.annotation)
+                                 or self._is_set_value(node.value)):
+            self.set_attrs.add(name)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_value(node.value):
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    self.set_attrs.add(target.attr)
+        self.generic_visit(node)
+
+
+def _loop_has_effects(loop: ast.For) -> bool:
+    for node in ast.walk(loop):
+        if node is loop:
+            continue
+        if isinstance(node, ast.Call):
+            name = None
+            if isinstance(node.func, ast.Attribute):
+                name = node.func.attr
+            elif isinstance(node.func, ast.Name):
+                name = node.func.id
+            if name in _EFFECT_CALLS:
+                return True
+    return False
+
+
+def rule_set_iteration(tree: SourceTree) -> List[Finding]:
+    """DET004: side-effecting iteration over a set."""
+    findings: List[Finding] = []
+    for src in tree:
+        # Per-file over-approximation: any attribute name bound to a set
+        # anywhere in the file counts.  Locals bound to ``set()`` or set
+        # literals are tracked per enclosing function.
+        collector = _SetAttrCollector()
+        collector.visit(src.tree)
+        set_attrs = collector.set_attrs
+
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            local_sets: Set[str] = set()
+            for stmt in ast.walk(node):
+                if isinstance(stmt, ast.Assign):
+                    if (_SetAttrCollector._is_set_value(stmt.value)
+                            or isinstance(stmt.value, ast.SetComp)):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                local_sets.add(target.id)
+            for loop in ast.walk(node):
+                if not isinstance(loop, ast.For):
+                    continue
+                iter_expr = loop.iter
+                is_set = False
+                if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+                    is_set = True
+                elif (isinstance(iter_expr, ast.Call)
+                        and isinstance(iter_expr.func, ast.Name)
+                        and iter_expr.func.id in ("set", "frozenset")):
+                    is_set = True
+                elif (isinstance(iter_expr, ast.Name)
+                        and iter_expr.id in local_sets):
+                    is_set = True
+                elif (isinstance(iter_expr, ast.Attribute)
+                        and isinstance(iter_expr.value, ast.Name)
+                        and iter_expr.value.id == "self"
+                        and iter_expr.attr in set_attrs):
+                    is_set = True
+                if is_set and _loop_has_effects(loop):
+                    findings.append(src.finding(
+                        "DET004", loop.lineno,
+                        "iteration over a set drives sends/records/"
+                        "scheduling — set order varies per process",
+                        "iterate sorted(...) or keep an ordered structure"))
+    return findings
+
+
+def rule_global_counter(tree: SourceTree) -> List[Finding]:
+    """DET005: new module-level itertools.count not covered by canonical."""
+    findings: List[Finding] = []
+    for src in tree:
+        for node in src.tree.body:  # module level only
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            is_count = False
+            if isinstance(value, ast.Call):
+                dotted = _dotted(value.func)
+                if dotted is not None and dotted[-1] == "count" \
+                        and (len(dotted) == 1 or dotted[-2] == "itertools"):
+                    is_count = True
+            if not is_count:
+                continue
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (src.rel, target.id) in COVERED_COUNTERS:
+                    continue
+                findings.append(src.finding(
+                    "DET005", node.lineno,
+                    f"module-level counter '{target.id}' survives across "
+                    f"runs in one process and is not renumbered by "
+                    f"repro/verify/canonical.py",
+                    "make it per-instance state, or register its field in "
+                    "canonical._ID_NAMESPACES and COVERED_COUNTERS"))
+    return findings
+
+
+DETERMINISM_RULES = {
+    "DET001": (rule_wallclock, "wall-clock call in simulator code"),
+    "DET002": (rule_unseeded_random, "process-global/unseeded randomness"),
+    "DET003": (rule_id_hash, "id()/hash() leaking into behaviour"),
+    "DET004": (rule_set_iteration, "side-effecting iteration over a set"),
+    "DET005": (rule_global_counter,
+               "module-level counter not covered by canonical renumbering"),
+}
+
+
+def run_determinism_rules(tree: SourceTree,
+                          selected: Optional[Set[str]] = None) -> List[Finding]:
+    findings: List[Finding] = []
+    for rule_id, (func, _doc) in DETERMINISM_RULES.items():
+        if selected is not None and rule_id not in selected:
+            continue
+        findings.extend(func(tree))
+    return findings

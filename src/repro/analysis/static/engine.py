@@ -1,0 +1,107 @@
+"""Rule registry, suppression engine, and the one-call entry point.
+
+``run_analysis(root)`` loads the tree, runs every (selected) pass,
+applies ``# repro: allow[RULE]`` suppressions (same line or the
+immediately preceding comment-only line), and reports unused
+suppressions as SUP001 findings so the allow-list can never rot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .determinism_rules import DETERMINISM_RULES, run_determinism_rules
+from .model import Finding, SourceTree, Suppression
+from .protocol_rules import PROTOCOL_RULES, run_protocol_rules
+
+RULES: Dict[str, str] = {
+    **{rule_id: doc for rule_id, (_f, doc) in PROTOCOL_RULES.items()},
+    **{rule_id: doc for rule_id, (_f, doc) in DETERMINISM_RULES.items()},
+    "SUP001": "unused # repro: allow[...] suppression",
+}
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    root: Path
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _comment_only(line: str) -> bool:
+    stripped = line.strip()
+    return stripped.startswith("#")
+
+
+def _suppression_for(finding: Finding,
+                     by_file: Dict[str, List[Suppression]],
+                     lines_by_file: Dict[str, List[str]]) -> Optional[Suppression]:
+    """A suppression covers a finding on its own line, or on the line
+    directly below when the suppression line holds only the comment."""
+    for sup in by_file.get(finding.path, []):
+        if finding.rule not in sup.rules:
+            continue
+        if sup.line == finding.line:
+            return sup
+        if sup.line == finding.line - 1:
+            lines = lines_by_file.get(finding.path, [])
+            if 1 <= sup.line <= len(lines) and _comment_only(lines[sup.line - 1]):
+                return sup
+    return None
+
+
+def run_analysis(root: Path,
+                 selected: Optional[Set[str]] = None) -> AnalysisResult:
+    """Run every pass over the tree rooted at *root*."""
+    tree = SourceTree.load(root)
+    raw: List[Finding] = []
+    raw.extend(run_protocol_rules(tree, selected))
+    raw.extend(run_determinism_rules(tree, selected))
+    for rel, error in tree.unparseable:
+        raw.append(Finding(rule="SUP001", path=rel, line=1,
+                           message=f"file does not parse: {error}",
+                           context="<unparseable>"))
+
+    by_file: Dict[str, List[Suppression]] = {}
+    lines_by_file: Dict[str, List[str]] = {}
+    for src in tree:
+        if src.suppressions:
+            by_file[src.rel] = src.suppressions
+        lines_by_file[src.rel] = src.lines
+
+    result = AnalysisResult(root=tree.root, files_scanned=len(tree.files))
+    for finding in raw:
+        sup = _suppression_for(finding, by_file, lines_by_file)
+        if sup is not None:
+            sup.used = True
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+
+    sup_selected = selected is None or "SUP001" in selected
+    if sup_selected:
+        for src in tree:
+            for sup in src.suppressions:
+                if not sup.used:
+                    result.findings.append(src.finding(
+                        "SUP001", sup.line,
+                        f"suppression allow[{','.join(sup.rules)}] matches "
+                        f"no finding",
+                        "delete the stale allow comment"))
+
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return result
+
+
+def rule_ids() -> List[Tuple[str, str]]:
+    """(rule id, one-line description) for --list-rules."""
+    return sorted(RULES.items())

@@ -1,0 +1,133 @@
+"""Shared data model of the static analyzer.
+
+A run parses every ``*.py`` file under one root directory into a
+:class:`SourceTree`, collects ``# repro: allow[...]`` suppressions, and
+hands the tree to the rule passes (:mod:`.protocol_rules`,
+:mod:`.determinism_rules`).  Findings are plain values: rule id, file,
+line, message, fix hint — everything the reporter and the baseline
+ratchet need.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+
+
+def _comment_suppressions(rel: str, text: str) -> List["Suppression"]:
+    """Suppressions from real ``#`` comments only (tokenized, so the
+    syntax can be *mentioned* in docstrings without tripping SUP001)."""
+    found: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(tok.string)
+            if match is not None:
+                rules = tuple(r.strip() for r in match.group(1).split(",")
+                              if r.strip())
+                found.append(Suppression(rel, tok.start[0], rules))
+    except tokenize.TokenError:
+        pass
+    return found
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a rule pass."""
+
+    rule: str
+    path: str  # root-relative, posix separators
+    line: int
+    message: str
+    hint: str = ""
+    context: str = ""  # stripped source line, for line-stable fingerprints
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: {self.rule} {self.message}"
+        if self.hint:
+            text += f"  (fix: {self.hint})"
+        return text
+
+    def fingerprint(self) -> str:
+        """Line-number-free identity used by the baseline ratchet."""
+        return f"{self.rule}|{self.path}|{self.context}"
+
+
+@dataclass
+class Suppression:
+    """One ``# repro: allow[RULE,...]`` comment."""
+
+    path: str
+    line: int
+    rules: Tuple[str, ...]
+    used: bool = False
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus its suppression comments."""
+
+    path: Path
+    rel: str
+    text: str
+    lines: List[str]
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceFile":
+        text = path.read_text(encoding="utf-8")
+        rel = path.relative_to(root).as_posix()
+        lines = text.splitlines()
+        tree = ast.parse(text, filename=str(path))
+        return cls(path=path, rel=rel, text=text, lines=lines, tree=tree,
+                   suppressions=_comment_suppressions(rel, text))
+
+    def context_of(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def finding(self, rule: str, line: int, message: str,
+                hint: str = "") -> Finding:
+        return Finding(rule=rule, path=self.rel, line=line, message=message,
+                       hint=hint, context=self.context_of(line))
+
+
+@dataclass
+class SourceTree:
+    """Every parseable python file under one root directory."""
+
+    root: Path
+    files: List[SourceFile]
+    unparseable: List[Tuple[str, str]] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, root: Path) -> "SourceTree":
+        root = root.resolve()
+        files: List[SourceFile] = []
+        unparseable: List[Tuple[str, str]] = []
+        for path in sorted(root.rglob("*.py")):
+            if "__pycache__" in path.parts:
+                continue
+            try:
+                files.append(SourceFile.parse(path, root))
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                unparseable.append((path.relative_to(root).as_posix(),
+                                    str(exc)))
+        return cls(root=root, files=files, unparseable=unparseable)
+
+    def __iter__(self) -> Iterator[SourceFile]:
+        return iter(self.files)
+
+    def by_rel(self) -> Dict[str, SourceFile]:
+        return {f.rel: f for f in self.files}

@@ -1,0 +1,296 @@
+"""Protocol-conformance passes (rule ids ``RDP00x``).
+
+These check the *structural* half of the paper's guarantees over the
+whole tree at once, schedule-independently:
+
+* RDP001 — a message kind is sent somewhere but no dispatch site anywhere
+  handles it (lost protocol: the message dies in an inbox).
+* RDP002 — a message class is defined but never constructed (dead
+  protocol vocabulary).
+* RDP003 — two message classes share one ``kind`` string (traces, charts
+  and kind-based dispatch would conflate them).
+* RDP004 — a handler reads a field its message class does not declare
+  (an AttributeError waiting for that code path).
+* RDP005 — a handler of a result-bearing kind cannot reach the send of
+  the ack/forward the protocol obliges it to produce (a reliability hole:
+  the delivery chain has a link with no onward edge).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .model import Finding, SourceFile, SourceTree
+from .protocol_model import (
+    BASE_MESSAGE_FIELDS,
+    BASE_MESSAGE_METHODS,
+    ProtocolModel,
+    build_protocol_model,
+)
+
+#: kind of a received message -> kinds, at least one of which every
+#: handler must be able to send (directly or transitively).  This is the
+#: paper's delivery chain: request -> proxy -> server -> result -> MH -> ack
+#: -> proxy, plus the hand-off request/reply pair (Sections 3.1-3.3).
+ACK_OBLIGATIONS: Dict[str, Set[str]] = {
+    "request": {"forwarded_request", "create_proxy", "server_request"},
+    "forwarded_request": {"server_request"},
+    "server_result": {"result_forward", "wireless_result"},
+    "notification": {"result_forward", "wireless_result"},
+    "result_forward": {"wireless_result"},
+    "wireless_result": {"ack"},
+    "ack": {"ack_forward"},
+    "dereg": {"deregack"},
+    "greet": {"dereg", "registered"},
+}
+
+
+def _finding(tree_files: Dict[str, SourceFile], rule: str, rel: str,
+             line: int, message: str, hint: str = "") -> Finding:
+    src = tree_files.get(rel)
+    if src is not None:
+        return src.finding(rule, line, message, hint)
+    return Finding(rule=rule, path=rel, line=line, message=message, hint=hint)
+
+
+def _credited_handler_sites(model: ProtocolModel, cls_name: str,
+                            global_refs: Set[str]) -> List[object]:
+    """Handler sites that actually dispatch *cls_name*.
+
+    Annotation-only sites (``def _on_x(self, msg: XMsg)``) are credited
+    only when the function is referenced somewhere: an orphaned handler
+    method whose dispatch-dict entry was deleted must NOT count, or the
+    deletion would go unreported.
+    """
+    sites = []
+    for site in model.handler_sites_of(cls_name):
+        if site.via == "annotation" and not (site.funcs & global_refs):
+            continue
+        sites.append(site)
+    return sites
+
+
+def rule_unhandled_kind(tree: SourceTree, model: ProtocolModel) -> List[Finding]:
+    """RDP001: sent-but-never-handled message kinds."""
+    files = tree.by_rel()
+    global_refs = model.all_refs()
+    findings: List[Finding] = []
+    for cls in sorted(model.classes.values(), key=lambda c: (c.rel, c.line)):
+        if not cls.is_concrete:
+            continue
+        sends = model.sends_of(cls.name)
+        if not sends:
+            continue
+        if _credited_handler_sites(model, cls.name, global_refs):
+            continue
+        site = min(sends, key=lambda s: (s.rel, s.line))
+        findings.append(_finding(
+            files, "RDP001", site.rel, site.line,
+            f"message kind '{cls.kind}' ({cls.name}) is sent here but no "
+            f"dispatch site anywhere handles it",
+            "register the class in a handler dict, isinstance dispatch, or "
+            "kind-string comparison"))
+    return findings
+
+
+def rule_dead_kind(tree: SourceTree, model: ProtocolModel) -> List[Finding]:
+    """RDP002: defined-but-never-constructed message classes."""
+    files = tree.by_rel()
+    findings: List[Finding] = []
+    for cls in sorted(model.classes.values(), key=lambda c: (c.rel, c.line)):
+        if not cls.is_concrete:
+            continue
+        if model.sends_of(cls.name):
+            continue
+        findings.append(_finding(
+            files, "RDP002", cls.rel, cls.line,
+            f"message kind '{cls.kind}' ({cls.name}) is defined but never "
+            f"constructed — dead protocol vocabulary",
+            "delete the class or wire up the send path"))
+    return findings
+
+
+def rule_duplicate_kind(tree: SourceTree, model: ProtocolModel) -> List[Finding]:
+    """RDP003: two classes sharing one kind string."""
+    files = tree.by_rel()
+    by_kind: Dict[str, List] = {}
+    for cls in model.classes.values():
+        if cls.is_concrete:
+            by_kind.setdefault(cls.kind or "", []).append(cls)
+    findings: List[Finding] = []
+    for kind, classes in sorted(by_kind.items()):
+        if len(classes) < 2:
+            continue
+        classes.sort(key=lambda c: (c.rel, c.line))
+        first = classes[0]
+        for dup in classes[1:]:
+            findings.append(_finding(
+                files, "RDP003", dup.rel, dup.line,
+                f"kind '{kind}' of {dup.name} duplicates {first.name} "
+                f"({first.rel}:{first.line})",
+                "give each message class a unique kind string"))
+    return findings
+
+
+# -- RDP004: unknown field access ------------------------------------------
+
+def _handler_bindings(model: ProtocolModel,
+                      global_refs: Set[str]) -> Dict[str, Set[str]]:
+    """handler function name -> message classes it is registered for."""
+    bindings: Dict[str, Set[str]] = {}
+    for site in model.handlers:
+        if site.cls is None:
+            continue
+        if site.via == "isinstance":
+            # isinstance narrowing is handled inline by the field checker;
+            # binding every referenced method would be far too coarse.
+            continue
+        if site.via == "annotation" and not (site.funcs & global_refs):
+            continue
+        for func in site.funcs:
+            bindings.setdefault(func, set()).add(site.cls)
+    return bindings
+
+
+class _FieldAccessChecker(ast.NodeVisitor):
+    """Checks ``param.<attr>`` accesses inside one handler body, honouring
+    ``isinstance(param, Cls)`` narrowing."""
+
+    def __init__(self, model: ProtocolModel, param: str,
+                 allowed: Set[str]) -> None:
+        self.model = model
+        self.param = param
+        self.allowed_stack: List[Set[str]] = [allowed]
+        self.violations: List[Tuple[int, str]] = []
+
+    def _narrowed(self, test: ast.expr) -> Optional[Set[str]]:
+        for node in ast.walk(test):
+            if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                    and node.func.id == "isinstance" and len(node.args) == 2
+                    and isinstance(node.args[0], ast.Name)
+                    and node.args[0].id == self.param):
+                spec = node.args[1]
+                names = (list(spec.elts)
+                         if isinstance(spec, ast.Tuple) else [spec])
+                narrowed: Set[str] = set()
+                for name_node in names:
+                    name = getattr(name_node, "id",
+                                   getattr(name_node, "attr", None))
+                    cls = self.model.classes.get(name or "")
+                    if cls is not None:
+                        narrowed |= cls.allowed_attrs()
+                if narrowed:
+                    return narrowed
+        return None
+
+    def visit_If(self, node: ast.If) -> None:
+        self.visit(node.test)
+        narrowed = self._narrowed(node.test)
+        if narrowed is not None:
+            self.allowed_stack.append(self.allowed_stack[-1] | narrowed)
+            for stmt in node.body:
+                self.visit(stmt)
+            self.allowed_stack.pop()
+        else:
+            for stmt in node.body:
+                self.visit(stmt)
+        for stmt in node.orelse:
+            self.visit(stmt)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (isinstance(node.value, ast.Name) and node.value.id == self.param
+                and node.attr not in self.allowed_stack[-1]
+                and not node.attr.startswith("__")):
+            self.violations.append((node.lineno, node.attr))
+        self.generic_visit(node)
+
+
+def rule_unknown_field(tree: SourceTree, model: ProtocolModel) -> List[Finding]:
+    """RDP004: handlers reading fields absent from their message class."""
+    files = tree.by_rel()
+    global_refs = model.all_refs()
+    bindings = _handler_bindings(model, global_refs)
+    findings: List[Finding] = []
+    for func_name, classes in sorted(bindings.items()):
+        allowed: Set[str] = set(BASE_MESSAGE_FIELDS) | set(BASE_MESSAGE_METHODS)
+        for cls_name in classes:
+            cls = model.classes.get(cls_name)
+            if cls is not None:
+                allowed |= cls.allowed_attrs()
+        for info in model.functions.get(func_name, []):
+            node = info.node
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args.args
+            # The message parameter: first non-self positional arg.
+            params = [a.arg for a in args if a.arg not in ("self", "cls")]
+            if not params:
+                continue
+            param = params[0]
+            checker = _FieldAccessChecker(model, param, allowed)
+            for stmt in node.body:
+                checker.visit(stmt)
+            for lineno, attr in sorted(set(checker.violations)):
+                cls_list = ", ".join(sorted(classes))
+                findings.append(_finding(
+                    files, "RDP004", info.rel, lineno,
+                    f"handler {func_name} reads '{param}.{attr}' but "
+                    f"{cls_list} declares no field '{attr}'",
+                    "add the field to the message dataclass or fix the "
+                    "attribute name"))
+    return findings
+
+
+def rule_ack_obligation(tree: SourceTree, model: ProtocolModel) -> List[Finding]:
+    """RDP005: result-bearing handlers with no reachable ack/forward send."""
+    files = tree.by_rel()
+    global_refs = model.all_refs()
+    findings: List[Finding] = []
+    for kind, required in sorted(ACK_OBLIGATIONS.items()):
+        required_classes = {cls.name for cls in model.classes.values()
+                            if cls.kind in required}
+        handler_funcs: Set[str] = set()
+        sites = []
+        for cls in model.classes_of_kind(kind):
+            for site in _credited_handler_sites(model, cls.name, global_refs):
+                sites.append(site)
+                handler_funcs |= site.funcs
+        if not sites:
+            continue  # RDP001's business, not ours
+        reachable = model.reachable_constructs(handler_funcs)
+        if reachable & required_classes:
+            continue
+        site = min(sites, key=lambda s: (s.rel, s.line))
+        findings.append(_finding(
+            files, "RDP005", site.rel, site.line,
+            f"handlers of '{kind}' ({', '.join(sorted(handler_funcs))}) "
+            f"cannot reach a send of any of: {', '.join(sorted(required))}",
+            "the delivery chain needs an onward ack/forward send on every "
+            "handler path"))
+    return findings
+
+
+PROTOCOL_RULES = {
+    "RDP001": (rule_unhandled_kind,
+               "message kind sent but never handled"),
+    "RDP002": (rule_dead_kind,
+               "message kind defined but never sent (dead protocol)"),
+    "RDP003": (rule_duplicate_kind,
+               "duplicate message kind string"),
+    "RDP004": (rule_unknown_field,
+               "handler reads a field the message class does not declare"),
+    "RDP005": (rule_ack_obligation,
+               "result-bearing handler with no reachable ack send"),
+}
+
+
+def run_protocol_rules(tree: SourceTree,
+                       selected: Optional[Set[str]] = None) -> List[Finding]:
+    model = build_protocol_model(tree)
+    findings: List[Finding] = []
+    for rule_id, (func, _doc) in PROTOCOL_RULES.items():
+        if selected is not None and rule_id not in selected:
+            continue
+        findings.extend(func(tree, model))
+    return findings

@@ -1,0 +1,40 @@
+"""Plain-text rendering of analyzer results."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional
+
+from .baseline import BaselineComparison
+from .engine import AnalysisResult
+from .model import Finding
+
+
+def render_findings(findings: List[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def render_result(result: AnalysisResult,
+                  comparison: Optional[BaselineComparison] = None) -> str:
+    """Full human-readable report: findings, per-rule tally, summary."""
+    lines: List[str] = []
+    reported = comparison.new if comparison is not None else result.findings
+    if reported:
+        lines.append(render_findings(reported))
+        lines.append("")
+        tally = Counter(f.rule for f in reported)
+        lines.append("findings by rule: " + ", ".join(
+            f"{rule}={count}" for rule, count in sorted(tally.items())))
+    summary = [f"{result.files_scanned} files scanned"]
+    if comparison is not None:
+        summary.append(f"{len(comparison.new)} new")
+        summary.append(f"{len(comparison.baselined)} baselined")
+        if comparison.fixed:
+            summary.append(f"{comparison.fixed} baselined finding(s) fixed — "
+                           f"re-record the baseline to lock them in")
+    else:
+        summary.append(f"{len(result.findings)} finding(s)")
+    if result.suppressed:
+        summary.append(f"{len(result.suppressed)} suppressed")
+    lines.append("analyze: " + ", ".join(summary))
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Wall-clock shim for CLI progress reporting.
+
+The one sanctioned wall-clock access point in the library.  Simulated
+components must use ``sim.now``; the DET001 determinism pass
+(``docs/STATIC_ANALYSIS.md``) flags any other wall-clock call, and this
+module carries the only standing suppression.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch, for "regenerated in N s" style output."""
+    return time.time()  # repro: allow[DET001]

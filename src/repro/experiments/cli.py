@@ -15,7 +15,6 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-import time
 from typing import Callable, Dict, List
 
 from ..analysis.charts import curve, hbar_chart
@@ -36,6 +35,7 @@ from .an13_mss_failures import run_an13
 from .scenarios import run_fig1, run_fig3, run_fig4
 from ..errors import ConfigError
 from ..verify import fuzz as fuzz_mod
+from ._timing import wall_clock
 
 
 def _fig1_text() -> str:
@@ -146,6 +146,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory to write repro seed files into")
     fuzz.add_argument("--replay", type=pathlib.Path, default=None,
                       help="replay one repro seed file instead of fuzzing")
+    analyze = sub.add_parser(
+        "analyze", help="run the AST-based protocol-conformance and "
+                        "determinism passes (see docs/STATIC_ANALYSIS.md)")
+    analyze.add_argument("--root", type=pathlib.Path, default=None,
+                         help="tree to scan (default: the installed "
+                              "repro package)")
+    analyze.add_argument("--baseline", type=pathlib.Path, default=None,
+                         help="baseline file (default: ANALYSIS_BASELINE.json "
+                              "next to the scanned tree's repo root)")
+    analyze.add_argument("--no-baseline", action="store_true",
+                         help="report every finding, ignore the baseline")
+    analyze.add_argument("--update-baseline", action="store_true",
+                         help="re-record the baseline from this run's "
+                              "findings and exit 0")
+    analyze.add_argument("--rules", default=None,
+                         help="comma-separated rule ids to run "
+                              "(default: all)")
+    analyze.add_argument("--list-rules", action="store_true",
+                         help="list rule ids and exit")
     return parser
 
 
@@ -153,9 +172,9 @@ def write_report(ids: List[str], out: pathlib.Path) -> str:
     """Run the given experiments and render a Markdown report."""
     sections = []
     for exp_id in ids:
-        started = time.time()
+        started = wall_clock()
         text = EXPERIMENTS[exp_id]()
-        elapsed = time.time() - started
+        elapsed = wall_clock() - started
         sections.append(
             f"## {exp_id} — {DESCRIPTIONS[exp_id]}\n\n"
             f"```\n{text}\n```\n\n"
@@ -185,12 +204,12 @@ def run_fuzz(args: argparse.Namespace) -> int:
             print(violation.describe())
         return 0 if result.ok else 1
 
-    started = time.time()
+    started = wall_clock()
     campaign = fuzz_mod.run_campaign(
         seeds=args.seeds, base_seed=args.base_seed, protocol=args.protocol,
         shrink=not args.no_shrink, out_dir=args.out,
         progress=lambda line: print(f"  FAIL {line}"))
-    elapsed = time.time() - started
+    elapsed = wall_clock() - started
     print(f"fuzzed {campaign.seeds} seeds ({args.protocol}, base "
           f"{campaign.base_seed}) in {elapsed:.1f}s: "
           f"{campaign.requests_delivered}/{campaign.requests_issued} "
@@ -205,6 +224,50 @@ def run_fuzz(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def run_analyze(args: argparse.Namespace) -> int:
+    """The ``analyze`` subcommand: static passes plus baseline ratchet."""
+    from ..analysis.static import (
+        compare, load_baseline, render_result, rule_ids, run_analysis,
+        save_baseline)
+
+    if args.list_rules:
+        for rule_id, doc in rule_ids():
+            print(f"{rule_id:<8} {doc}")
+        return 0
+    selected = None
+    if args.rules:
+        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+    root = args.root or pathlib.Path(__file__).resolve().parents[1]
+    result = run_analysis(root, selected)
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        # src/repro -> repo root; fall back to the scan root itself when
+        # the tree is not laid out as <repo>/src/repro.
+        candidates = [root.parent.parent, root]
+        baseline_path = next(
+            (c / "ANALYSIS_BASELINE.json" for c in candidates
+             if (c / "ANALYSIS_BASELINE.json").exists()),
+            candidates[0] / "ANALYSIS_BASELINE.json")
+
+    if args.update_baseline:
+        save_baseline(baseline_path, result.findings)
+        print(f"recorded {len(result.findings)} finding(s) into "
+              f"{baseline_path}")
+        return 0
+
+    comparison = None
+    if not args.no_baseline:
+        try:
+            comparison = compare(result.findings, load_baseline(baseline_path))
+        except ValueError as exc:
+            print(f"cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    print(render_result(result, comparison))
+    failed = comparison.new if comparison is not None else result.findings
+    return 1 if failed else 0
+
+
 def main(argv: List[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -213,6 +276,8 @@ def main(argv: List[str] | None = None) -> int:
         return 0
     if args.command == "fuzz":
         return run_fuzz(args)
+    if args.command == "analyze":
+        return run_analyze(args)
 
     ids = list(EXPERIMENTS) if not args.ids or "all" in args.ids else args.ids
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -224,9 +289,9 @@ def main(argv: List[str] | None = None) -> int:
         print(f"wrote {args.out} ({len(ids)} experiments)")
         return 0
     for exp_id in ids:
-        started = time.time()
+        started = wall_clock()
         text = EXPERIMENTS[exp_id]()
-        elapsed = time.time() - started
+        elapsed = wall_clock() - started
         print(text)
         print(f"[{exp_id} regenerated in {elapsed:.1f}s]")
         print()

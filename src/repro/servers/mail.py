@@ -33,8 +33,6 @@ from ..types import RequestId
 from .base import AppServer
 from .subscription import SubscriptionRegistry
 
-_mail_ids = itertools.count(1)
-
 
 @dataclass
 class StoredMail:
@@ -73,6 +71,9 @@ class MailServer(AppServer):
         super().__init__(*args, **kwargs)
         self.subs = SubscriptionRegistry(self.node_id, self.wired)
         self.mailboxes: Dict[str, Mailbox] = {}
+        # Per-instance so mail ids in result payloads are identical across
+        # repeated same-seed runs inside one process (replay determinism).
+        self._mail_ids = itertools.count(1)
 
     def _mailbox(self, user: str) -> Mailbox:
         if user not in self.mailboxes:
@@ -120,7 +121,7 @@ class MailServer(AppServer):
         to = str(payload.get("to", ""))
         mailbox = self._mailbox(to)
         stored = StoredMail(
-            mail_id=next(_mail_ids),
+            mail_id=next(self._mail_ids),
             sender=str(payload.get("from", "?")),
             subject=str(payload.get("subject", "")),
             body=payload.get("body"),

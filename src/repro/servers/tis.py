@@ -34,7 +34,6 @@ from ..types import NodeId, ProxyRef, RequestId
 from .base import AppServer
 from .subscription import SubscriptionRegistry
 
-_op_ids = itertools.count(1)
 
 
 @dataclass
@@ -177,6 +176,9 @@ class TrafficInfoServer(AppServer):
         self._pending: Dict[int, _PendingOp] = {}
         self._pending_routes: Dict[int, _PendingRoute] = {}
         self._route_legs: Dict[int, tuple] = {}  # leg op_id -> (route, region)
+        # Per-instance so op ids are stable across repeated same-seed runs
+        # in one process; uniqueness is only needed per origin server.
+        self._op_ids = itertools.count(1)
         self.remote_lookups = 0
         self.cache_hits = 0
 
@@ -222,7 +224,7 @@ class TrafficInfoServer(AppServer):
         return None
 
     def _start_lookup(self, message: ServerRequestMsg, region: str) -> None:
-        op_id = next(_op_ids)
+        op_id = next(self._op_ids)
         pending = _PendingOp(request=message, region=region)
         self._pending[op_id] = pending
         self.remote_lookups += 1
@@ -278,7 +280,7 @@ class TrafficInfoServer(AppServer):
             version = self.apply_update(region, level)
             self.reply(message, {"ok": True, "region": region, "version": version})
             return
-        op_id = next(_op_ids)
+        op_id = next(self._op_ids)
         self._pending[op_id] = _PendingOp(request=message, region=region)
         update = TisUpdateMsg(op_id=op_id, region=region, level=level,
                               origin=self.node_id, ttl=self.flood_ttl)
@@ -314,7 +316,7 @@ class TrafficInfoServer(AppServer):
             self.reply(message, {"error": "route query needs regions"})
             return
         route = _PendingRoute(request=message, regions=regions)
-        route_id = next(_op_ids)
+        route_id = next(self._op_ids)
         self._pending_routes[route_id] = route
         self.instr.metrics.incr("tis_route_queries", node=self.node_id)
         for region in regions:
@@ -322,7 +324,7 @@ class TrafficInfoServer(AppServer):
             if local is not None:
                 route.reports[region] = local.as_payload()
                 continue
-            op_id = next(_op_ids)
+            op_id = next(self._op_ids)
             self._route_legs[op_id] = (route_id, region)
             lookup = TisLookupMsg(op_id=op_id, region=region,
                                   origin=self.node_id, ttl=self.flood_ttl,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Type
+from typing import Any, Callable, Dict, List, Optional, Set, Type
 
 from ..core.placement import CurrentCellPlacement, PlacementPolicy
 from ..core.protocol import (
@@ -59,6 +59,15 @@ from .inbox import Inbox
 from .pref import PrefTable
 
 _proxy_ids = itertools.count(1)
+
+#: One dispatch-table entry: a bound method handling the concrete message
+#: class keyed by the entry.  Each handler declares its precise subclass
+#: (``def _on_join(self, msg: JoinMsg)``), so the table's common value
+#: type must erase that parameter (Callable is contravariant in it) — the
+#: ``type(message)`` lookup in :meth:`Mss._handle` restores the pairing
+#: at runtime, and the RDP004 static pass checks each handler body
+#: against its registered class.
+MessageHandler = Callable[[Any], None]
 
 
 @dataclass
@@ -168,7 +177,7 @@ class MobileSupportStation:
             proc_delay=self.config.proc_delay,
             ack_priority=self.config.ack_priority,
         )
-        self._handlers: Dict[Type[Message], Callable] = {
+        self._handlers: Dict[Type[Message], MessageHandler] = {
             JoinMsg: self._on_join,
             LeaveMsg: self._on_leave,
             GreetMsg: self._on_greet,
