@@ -64,8 +64,6 @@ COVERED_COUNTERS: Dict[Tuple[str, str], str] = {
         "delivery_id (canonical namespace 'd')",
     ("baselines/itcp_like.py", "_delivery_ids"):
         "delivery_id (canonical namespace 'd')",
-    ("sim/event.py", "_event_counter"):
-        "event-queue tiebreaker, never serialized into traces",
 }
 
 

@@ -133,9 +133,11 @@ class Proxy:
         )
         self.requestlist[request_id] = record
         self.instr.metrics.incr("proxy_requests_admitted", node=self.host.node_id)
-        self.instr.recorder.record(self.sim.now, "proxy_admit", self.host.node_id,
-                                   mh=self.mh, proxy_id=self.proxy_id,
-                                   request_id=request_id)
+        if self.instr.recorder.wants("proxy_admit"):
+            self.instr.recorder.record(self.sim.now, "proxy_admit",
+                                       self.host.node_id,
+                                       mh=self.mh, proxy_id=self.proxy_id,
+                                       request_id=request_id)
         server = self.host.resolve_service(service)
         if server is None:
             # Fail fast toward the client: synthesize an error result so
@@ -203,10 +205,11 @@ class Proxy:
             self.instr.metrics.incr("proxy_duplicate_acks")
         else:
             self.completed.add(msg.request_id)
-            self.instr.recorder.record(self.sim.now, "proxy_ack",
-                                       self.host.node_id,
-                                       mh=self.mh, proxy_id=self.proxy_id,
-                                       request_id=msg.request_id)
+            if self.instr.recorder.wants("proxy_ack"):
+                self.instr.recorder.record(self.sim.now, "proxy_ack",
+                                           self.host.node_id,
+                                           mh=self.mh, proxy_id=self.proxy_id,
+                                           request_id=msg.request_id)
             self.instr.metrics.incr("proxy_requests_completed", node=self.host.node_id)
             self.instr.metrics.observe(
                 "request_completion_time", self.sim.now - record.issued_at)
@@ -243,9 +246,10 @@ class Proxy:
         if retransmission:
             self.retransmissions += 1
             self.instr.metrics.incr("proxy_retransmissions", node=self.host.node_id)
-            self.instr.recorder.record(
-                self.sim.now, "retransmit", self.host.node_id,
-                mh=self.mh, request_id=record.request_id, to=self.currentloc)
+            if self.instr.recorder.wants("retransmit"):
+                self.instr.recorder.record(
+                    self.sim.now, "retransmit", self.host.node_id,
+                    mh=self.mh, request_id=record.request_id, to=self.currentloc)
         self.host.proxy_wired_send(self.currentloc, ResultForwardMsg(
             mh=self.mh,
             proxy_ref=self.ref,

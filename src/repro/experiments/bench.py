@@ -1,0 +1,176 @@
+"""The standing macro-benchmark of the simulation kernel.
+
+``python -m repro.experiments bench`` runs a pinned large sidam-city
+workload — thousands of mobile hosts roaming a grid of cells, issuing
+TIS queries against a partitioned server network — and reports the
+kernel's throughput (events/sec, messages/sec), wall time and peak
+memory.  The result is written as JSON (``BENCH_macro.json`` at the
+repo root by default) so the perf trajectory is tracked run-over-run:
+every later scaling PR is judged against the numbers recorded here.
+
+The JSON is split into two sections:
+
+* ``scenario`` + ``determinism`` — pinned inputs and simulation-domain
+  outputs (event/message/query counts, final simulated time).  These
+  must be byte-identical between two runs of the same preset on any
+  machine; CI enforces it.
+* ``timing`` — wall-clock measurements, different on every run.
+
+Compare runs with ``jq 'del(.timing)' BENCH_macro.json`` (see
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import resource
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ..config import LatencySpec, WorldConfig
+from ..mobility.models import ExponentialResidence, RandomNeighborWalk
+from ..net.latency import ExponentialLatency
+from ..servers.tis_network import TisNetwork
+from ..sidam.city import CityModel
+from ..sidam.workload import CitizenWorkload
+from ..world import World
+from ._timing import wall_clock
+from .harness import drain
+
+
+@dataclass(frozen=True)
+class BenchPreset:
+    """One pinned benchmark scenario."""
+
+    name: str
+    citizens: int
+    grid: int
+    duration: float
+    seed: int = 2026
+    n_servers: int = 4
+    mean_interarrival: float = 10.0
+    residence: float = 20.0
+
+
+#: The standing macro scenario (results committed as BENCH_macro.json)
+#: and its CI-sized smoke variant.  Do not retune these casually: the
+#: whole point is run-over-run comparability.
+PRESETS: Dict[str, BenchPreset] = {
+    "macro": BenchPreset(name="macro", citizens=2000, grid=12, duration=60.0),
+    "smoke": BenchPreset(name="smoke", citizens=100, grid=5, duration=30.0),
+}
+
+
+def run_bench(preset: BenchPreset) -> Dict[str, Any]:
+    """Run one benchmark scenario; return the result document."""
+    config = WorldConfig(
+        seed=preset.seed,
+        topology="grid",
+        grid_width=preset.grid,
+        grid_height=preset.grid,
+        wired_latency=LatencySpec(kind="exponential", mean=0.012),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.01,
+        trace=False,
+    )
+    started = wall_clock()
+    world = World(config)
+    city = CityModel(world.cell_map, n_servers=preset.n_servers)
+    TisNetwork(world.sim, world.wired, world.directory,
+               partitions=city.partitions,
+               overlay_edges=city.overlay_edges(),
+               instruments=world.instruments,
+               service_time=ExponentialLatency(scale=0.04, floor=0.01),
+               cache_ttl=20.0)
+    walk = RandomNeighborWalk(world.cell_map)
+    servers = sorted(city.partitions)
+    workloads = []
+    for i in range(preset.citizens):
+        name = f"citizen{i}"
+        client = world.add_host(name, world.cells[i % len(world.cells)],
+                                retry_interval=5.0)
+        world.add_mobility(name, walk, ExponentialResidence(preset.residence))
+        workload = CitizenWorkload(
+            world.sim, client, city, world.rng.stream(f"wl.{name}"),
+            service=f"tis.{servers[i % len(servers)]}",
+            mean_interarrival=preset.mean_interarrival)
+        workload.start()
+        workloads.append(workload)
+    world.run(until=preset.duration)
+    for workload in workloads:
+        workload.stop()
+    drain(world)
+    wall = wall_clock() - started
+
+    events = world.sim.events_executed
+    messages = world.monitor.total_messages()
+    queries = sum(len(w.stats.requests) for w in workloads)
+    answered = sum(sum(1 for r in w.stats.requests if r.done)
+                   for w in workloads)
+    metrics = world.instruments.metrics
+    return {
+        "schema": 1,
+        "scenario": {
+            "preset": preset.name,
+            "seed": preset.seed,
+            "citizens": preset.citizens,
+            "grid": [preset.grid, preset.grid],
+            "duration": preset.duration,
+            "n_servers": preset.n_servers,
+            "mean_interarrival": preset.mean_interarrival,
+            "mean_residence": preset.residence,
+        },
+        "determinism": {
+            "events": events,
+            "messages": messages,
+            "queries": queries,
+            "answered": answered,
+            "handoffs": metrics.count("handoffs_completed"),
+            "retransmissions": metrics.count("proxy_retransmissions"),
+            "wireless_drops": world.monitor.drops(),
+            "final_time": round(world.sim.now, 6),
+        },
+        "timing": {
+            "wall_seconds": round(wall, 3),
+            "events_per_second": round(events / wall) if wall > 0 else None,
+            "messages_per_second": round(messages / wall) if wall > 0 else None,
+            "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        },
+    }
+
+
+def render(result: Dict[str, Any]) -> str:
+    """One-screen human summary of a result document."""
+    scenario, det, timing = (result["scenario"], result["determinism"],
+                             result["timing"])
+    return "\n".join([
+        f"bench[{scenario['preset']}]: {scenario['citizens']} MHs on a "
+        f"{scenario['grid'][0]}x{scenario['grid'][1]} grid, "
+        f"{scenario['duration']:.0f}s simulated (seed {scenario['seed']})",
+        f"  events      {det['events']:>12,}   "
+        f"({timing['events_per_second']:,}/s)",
+        f"  messages    {det['messages']:>12,}   "
+        f"({timing['messages_per_second']:,}/s)",
+        f"  queries     {det['queries']:>12,}   "
+        f"({det['answered']:,} answered)",
+        f"  handoffs    {det['handoffs']:>12,}   "
+        f"({det['retransmissions']:,} proxy retransmissions)",
+        f"  wall        {timing['wall_seconds']:>12.3f}s",
+        f"  peak rss    {timing['peak_rss_kb']:>12,} kB",
+    ])
+
+
+def write_result(result: Dict[str, Any], out: pathlib.Path) -> None:
+    """Write the result document as stable, diff-friendly JSON."""
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def default_out_path() -> pathlib.Path:
+    """``BENCH_macro.json`` at the repo root (next to ``src/``), falling
+    back to the working directory for installed trees."""
+    package_root = pathlib.Path(__file__).resolve().parents[2]
+    repo_root = package_root.parent
+    if (repo_root / "src").is_dir():
+        return repo_root / "BENCH_macro.json"
+    return pathlib.Path("BENCH_macro.json")

@@ -35,6 +35,7 @@ from .an13_mss_failures import run_an13
 from .scenarios import run_fig1, run_fig3, run_fig4
 from ..errors import ConfigError
 from ..verify import fuzz as fuzz_mod
+from . import bench as bench_mod
 from ._timing import wall_clock
 
 
@@ -146,6 +147,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory to write repro seed files into")
     fuzz.add_argument("--replay", type=pathlib.Path, default=None,
                       help="replay one repro seed file instead of fuzzing")
+    bench = sub.add_parser(
+        "bench", help="run the pinned macro-benchmark and record "
+                      "throughput (see EXPERIMENTS.md)")
+    bench.add_argument("--preset", choices=sorted(bench_mod.PRESETS),
+                       default="macro",
+                       help="scenario size (default macro; CI uses smoke)")
+    bench.add_argument("--out", type=pathlib.Path, default=None,
+                       help="result file (default: BENCH_macro.json at the "
+                            "repo root)")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress the human-readable summary")
     analyze = sub.add_parser(
         "analyze", help="run the AST-based protocol-conformance and "
                         "determinism passes (see docs/STATIC_ANALYSIS.md)")
@@ -224,6 +236,18 @@ def run_fuzz(args: argparse.Namespace) -> int:
     return 0 if campaign.ok else 1
 
 
+def run_bench(args: argparse.Namespace) -> int:
+    """The ``bench`` subcommand: pinned macro scenario -> JSON + summary."""
+    preset = bench_mod.PRESETS[args.preset]
+    result = bench_mod.run_bench(preset)
+    out = args.out if args.out is not None else bench_mod.default_out_path()
+    bench_mod.write_result(result, out)
+    if not args.quiet:
+        print(bench_mod.render(result))
+    print(f"wrote {out}")
+    return 0
+
+
 def run_analyze(args: argparse.Namespace) -> int:
     """The ``analyze`` subcommand: static passes plus baseline ratchet."""
     from ..analysis.static import (
@@ -276,6 +300,8 @@ def main(argv: List[str] | None = None) -> int:
         return 0
     if args.command == "fuzz":
         return run_fuzz(args)
+    if args.command == "bench":
+        return run_bench(args)
     if args.command == "analyze":
         return run_analyze(args)
 

@@ -219,8 +219,9 @@ class MobileHost:
         if self.state is not MhState.ACTIVE:
             raise ProtocolError(f"{self.node_id} cannot send requests while {self.state}")
         rid = request_id or self.new_request_id()
-        self.instr.recorder.record(self.sim.now, "request", self.node_id,
-                                   request_id=rid, service=service)
+        if self.instr.recorder.wants("request"):
+            self.instr.recorder.record(self.sim.now, "request", self.node_id,
+                                       request_id=rid, service=service)
         msg = RequestMsg(mh=self.node_id, request_id=rid,
                          service=service, payload=payload)
         if not self.registered:
@@ -292,9 +293,10 @@ class MobileHost:
         else:
             self._seen_deliveries.add(message.delivery_id)
             self.deliveries.append((self.sim.now, message.request_id, message.payload))
-            self.instr.recorder.record(self.sim.now, "deliver", self.node_id,
-                                       request_id=message.request_id,
-                                       delivery_id=message.delivery_id)
+            if self.instr.recorder.wants("deliver"):
+                self.instr.recorder.record(self.sim.now, "deliver", self.node_id,
+                                           request_id=message.request_id,
+                                           delivery_id=message.delivery_id)
             self.instr.metrics.incr("mh_results_delivered", node=self.node_id)
         # Assumption 4: every message from the respMss is acknowledged,
         # duplicates included — the proxy needs the Ack to stop re-sending.

@@ -24,8 +24,9 @@ exactly-once guarantee degrades.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from ..errors import NetworkError
 from ..types import NodeId
@@ -55,6 +56,16 @@ class OrderingLayer:
         """Deliver now or buffer; implementations call *deliver* for each
         message that becomes deliverable (possibly several)."""
         deliver(stamped.message)
+
+    def retire(self, node: NodeId) -> int:
+        """Forget all ordering state for a permanently detached endpoint.
+
+        Returns the number of held-back messages dropped with it.  Only
+        valid for endpoints that will never exchange messages again: a
+        later re-attach starts from fresh clocks, so in-flight stamps
+        that still reference the retired endpoint could block forever.
+        """
+        return 0
 
 
 class RawOrdering(OrderingLayer):
@@ -101,80 +112,169 @@ class FifoOrdering(OrderingLayer):
             expected += 1
         self._next_deliver[channel] = expected
 
+    def retire(self, node: NodeId) -> int:
+        dropped = 0
+        for channel in [c for c in self._held if node in c]:
+            dropped += len(self._held.pop(channel))
+        for counters in (self._next_send, self._next_deliver):
+            for channel in [c for c in counters if node in c]:
+                del counters[channel]
+        return dropped
+
+
+class _CausalEndpoint:
+    """Per-endpoint SES state plus the indexed hold-back buffer."""
+
+    __slots__ = ("knowledge", "sent", "dep", "waiting", "held", "arrivals")
+
+    def __init__(self) -> None:
+        self.knowledge = VectorClock()
+        self.sent = 0
+        # destination -> frozen, structurally-shared constraint clock
+        self.dep: Dict[str, VectorClock] = {}
+        # blocking component -> [(arrival order, stamped), ...]
+        self.waiting: Dict[str, List[Tuple[int, StampedMessage]]] = {}
+        self.held = 0
+        self.arrivals = 0
+
 
 class CausalOrdering(OrderingLayer):
     """SES causal point-to-point delivery (implies FIFO per channel).
 
-    Implementation note: the *knowledge* clock (pointwise max of delivered
-    stamps) is kept separate from the node's own send counter.  Folding
-    both into one clock — as a naive reading of SES suggests — breaks
-    hold-back whenever a node can receive its own sends, because its send
-    ticks satisfy the delivery constraint before the earlier message has
-    actually been delivered.
+    Implementation notes:
+
+    * The *knowledge* clock (pointwise max of delivered stamps) is kept
+      separate from the node's own send counter.  Folding both into one
+      clock — as a naive reading of SES suggests — breaks hold-back
+      whenever a node can receive its own sends, because its send ticks
+      satisfy the delivery constraint before the earlier message has
+      actually been delivered.
+    * Every clock stored in ``dep``, a stamp, or a constraint table is
+      *frozen* the moment it leaves :meth:`on_send`: updates rebind to a
+      new (or another shared) clock, never mutate.  That makes the
+      constraint-table copy at send time a dict of shared references
+      instead of O(endpoints) deep clock copies, and lets delivery skip
+      constraint merges entirely when sender and receiver already hold
+      the same clock object.  Only ``knowledge`` is mutated in place — it
+      is private to its endpoint (stamps copy it).
+    * A message that cannot be delivered is parked under *one* vector
+      component its receiver's knowledge has not reached.  Since knowledge
+      only grows, the message can only become deliverable after that
+      component advances, so a delivery wakes exactly the buckets of the
+      components it advanced instead of rescanning the whole buffer.
+      Woken candidates are processed in arrival order, which reproduces
+      the delivery order of the classic rescan-from-start drain.
     """
 
     name = "causal"
 
     def __init__(self) -> None:
-        self._knowledge: Dict[NodeId, VectorClock] = {}
-        self._sent: Dict[NodeId, int] = {}
-        self._dep: Dict[NodeId, Dict[str, VectorClock]] = {}
-        self._buffers: Dict[NodeId, List[StampedMessage]] = {}
+        self._endpoints: Dict[NodeId, _CausalEndpoint] = {}
 
-    def _endpoint(self, node: NodeId) -> Tuple[VectorClock, Dict[str, VectorClock]]:
-        if node not in self._knowledge:
-            self._knowledge[node] = VectorClock()
-            self._dep[node] = {}
-            self._sent[node] = 0
-        return self._knowledge[node], self._dep[node]
+    def _endpoint(self, node: NodeId) -> _CausalEndpoint:
+        endpoint = self._endpoints.get(node)
+        if endpoint is None:
+            endpoint = self._endpoints[node] = _CausalEndpoint()
+        return endpoint
 
     def on_send(self, src: NodeId, dst: NodeId, message: Message) -> StampedMessage:
-        knowledge, dep = self._endpoint(src)
-        self._sent[src] += 1
-        stamp = knowledge.copy()
-        stamp.merge(VectorClock({src: self._sent[src]}))
-        constraints = {node: clock.copy() for node, clock in dep.items()}
-        dep[dst] = stamp.copy()
+        endpoint = self._endpoint(src)
+        endpoint.sent += 1
+        stamp = endpoint.knowledge.copy()
+        stamp.bump(src, endpoint.sent)
+        constraints = dict(endpoint.dep)  # shared frozen clocks
+        endpoint.dep[dst] = stamp  # frozen from here on
         return StampedMessage(message=message, stamp=stamp, constraints=constraints)
-
-    def _deliverable(self, node: NodeId, stamped: StampedMessage) -> bool:
-        knowledge, _ = self._endpoint(node)
-        constraint = stamped.constraints.get(node)
-        return constraint is None or knowledge.dominates(constraint)
 
     def on_arrival(self, dst: NodeId, stamped: StampedMessage,
                    deliver: Callable[[Message], None]) -> None:
-        buffer = self._buffers.setdefault(dst, [])
-        buffer.append(stamped)
-        self._drain(dst, deliver)
+        endpoint = self._endpoint(dst)
+        constraint = stamped.constraints.get(dst)
+        if constraint is not None and not endpoint.knowledge.dominates(constraint):
+            # No held message is deliverable right now (each was re-checked
+            # when knowledge last advanced), so parking preserves order.
+            endpoint.arrivals += 1
+            self._park(endpoint, endpoint.arrivals, stamped, constraint)
+            return
+        advanced = self._commit(endpoint, dst, stamped)
+        deliver(stamped.message)
+        if endpoint.held:
+            self._drain(endpoint, dst, deliver, advanced)
 
-    def _drain(self, node: NodeId, deliver: Callable[[Message], None]) -> None:
-        buffer = self._buffers.setdefault(node, [])
-        progressed = True
-        while progressed:
-            progressed = False
-            for index, stamped in enumerate(buffer):
-                if self._deliverable(node, stamped):
-                    buffer.pop(index)
-                    self._commit(node, stamped)
-                    deliver(stamped.message)
-                    progressed = True
-                    break
+    def _park(self, endpoint: _CausalEndpoint, order: int,
+              stamped: StampedMessage, constraint: VectorClock) -> None:
+        """File a blocked message under one unsatisfied component."""
+        knowledge_get = endpoint.knowledge.get
+        for component, value in constraint.items():
+            if knowledge_get(component) < value:
+                endpoint.waiting.setdefault(component, []).append((order, stamped))
+                endpoint.held += 1
+                return
+        raise NetworkError("parked a deliverable message")  # pragma: no cover
 
-    def _commit(self, node: NodeId, stamped: StampedMessage) -> None:
-        vt, dep = self._endpoint(node)
-        vt.merge(stamped.stamp)
+    def _drain(self, endpoint: _CausalEndpoint, node: NodeId,
+               deliver: Callable[[Message], None],
+               advanced: List[str]) -> None:
+        """Deliver every held message unblocked by *advanced* components,
+        cascading through the components each delivery advances."""
+        ready: List[Tuple[int, StampedMessage]] = []
+        self._wake(endpoint, advanced, ready)
+        while ready:
+            order, stamped = heapq.heappop(ready)
+            endpoint.held -= 1
+            constraint = stamped.constraints.get(node)
+            if constraint is not None and not endpoint.knowledge.dominates(constraint):
+                # Still blocked on another component; re-park, keeping its
+                # original arrival order.
+                self._park(endpoint, order, stamped, constraint)
+                continue
+            advanced = self._commit(endpoint, node, stamped)
+            deliver(stamped.message)
+            self._wake(endpoint, advanced, ready)
+
+    @staticmethod
+    def _wake(endpoint: _CausalEndpoint, advanced: List[str],
+              ready: List[Tuple[int, StampedMessage]]) -> None:
+        if not endpoint.held:
+            return
+        waiting = endpoint.waiting
+        for component in advanced:
+            bucket = waiting.pop(component, None)
+            if bucket:
+                for item in bucket:
+                    heapq.heappush(ready, item)
+
+    @staticmethod
+    def _commit(endpoint: _CausalEndpoint, node: NodeId,
+                stamped: StampedMessage) -> List[str]:
+        """Merge a delivered message's metadata; return the knowledge
+        components that advanced."""
+        advanced = endpoint.knowledge.update_max(stamped.stamp)
+        dep = endpoint.dep
         for other, clock in stamped.constraints.items():
             if other == node:
                 continue
-            if other in dep:
-                dep[other].merge(clock)
-            else:
-                dep[other] = clock.copy()
+            current = dep.get(other)
+            if current is None:
+                dep[other] = clock
+            elif current is not clock:
+                if clock.dominates(current):
+                    dep[other] = clock
+                elif not current.dominates(clock):
+                    dep[other] = current.merged(clock)
+        return advanced
 
     def held_count(self, node: NodeId) -> int:
         """Number of messages currently buffered for *node* (for tests)."""
-        return len(self._buffers.get(node, []))
+        endpoint = self._endpoints.get(node)
+        return endpoint.held if endpoint is not None else 0
+
+    def retire(self, node: NodeId) -> int:
+        endpoint = self._endpoints.pop(node, None)
+        dropped = endpoint.held if endpoint is not None else 0
+        for other in self._endpoints.values():
+            other.dep.pop(node, None)
+        return dropped
 
 
 def make_ordering(name: str) -> OrderingLayer:

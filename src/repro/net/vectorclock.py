@@ -26,17 +26,42 @@ class VectorClock:
         """Advance *node*'s component by one."""
         self._clock[node] = self._clock.get(node, 0) + 1
 
+    def bump(self, node: str, value: int) -> None:
+        """Raise *node*'s component to at least *value*."""
+        if value > self._clock.get(node, 0):
+            self._clock[node] = value
+
     def get(self, node: str) -> int:
         return self._clock.get(node, 0)
 
     def copy(self) -> "VectorClock":
-        return VectorClock(self._clock)
+        out = VectorClock.__new__(VectorClock)
+        out._clock = self._clock.copy()
+        return out
 
     def merge(self, other: "VectorClock") -> None:
         """Pointwise max, in place."""
+        clock = self._clock
+        get = clock.get
         for node, value in other._clock.items():
-            if value > self._clock.get(node, 0):
-                self._clock[node] = value
+            if value > get(node, 0):
+                clock[node] = value
+
+    def update_max(self, other: "VectorClock") -> list[str]:
+        """Pointwise max, in place; return the components that advanced.
+
+        Like :meth:`merge`, but reports which components actually grew —
+        the causal layer uses this to wake only the hold-back buckets
+        whose blocking component moved.
+        """
+        advanced = []
+        clock = self._clock
+        get = clock.get
+        for node, value in other._clock.items():
+            if value > get(node, 0):
+                clock[node] = value
+                advanced.append(node)
+        return advanced
 
     def merged(self, other: "VectorClock") -> "VectorClock":
         """Pointwise max, as a new clock."""
@@ -46,7 +71,11 @@ class VectorClock:
 
     def dominates(self, other: "VectorClock") -> bool:
         """True when ``other <= self`` (pointwise)."""
-        return all(self.get(node) >= value for node, value in other._clock.items())
+        get = self._clock.get
+        for node, value in other._clock.items():
+            if get(node, 0) < value:
+                return False
+        return True
 
     def __le__(self, other: "VectorClock") -> bool:
         return other.dominates(self)

@@ -60,10 +60,24 @@ class WiredNetwork:
         self.monitor = monitor if monitor is not None else NetworkMonitor()
         self.ordering: OrderingLayer = make_ordering(ordering)
         self._nodes: Dict[NodeId, WiredNode] = {}
+        self._deliver_cbs: Dict[NodeId, Callable[[Message], None]] = {}
 
     def attach(self, node: WiredNode) -> None:
         """Register a static node; replaces any previous registration."""
         self._nodes[node.node_id] = node
+
+    def detach(self, node_id: NodeId) -> None:
+        """Permanently remove a static node and prune its ordering state.
+
+        Messages still in flight to the node raise on delivery; held-back
+        causal state referencing it is dropped so long sweeps that cycle
+        through many endpoints don't grow without bound.  Re-attaching the
+        same id later starts it from fresh ordering state (see
+        :meth:`OrderingLayer.retire` for the caveat on in-flight stamps).
+        """
+        self._nodes.pop(node_id, None)
+        self._deliver_cbs.pop(node_id, None)
+        self.ordering.retire(node_id)
 
     def knows(self, node_id: NodeId) -> bool:
         return node_id in self._nodes
@@ -78,11 +92,12 @@ class WiredNetwork:
         message.dst = dst
         stamped = self.ordering.on_send(src, dst, message)
         self.monitor.on_send(self.name, message)
-        self.recorder.record(
-            self.sim.now, "send", src,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, dst=dst,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.sim.now, "send", src,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, dst=dst,
+                detail=message.describe(),
+            )
         delay = self.latency.sample(self.rng)
         if self.pairwise_delay is not None:
             delay += self.pairwise_delay(src, dst)
@@ -90,16 +105,22 @@ class WiredNetwork:
                           label=f"wired:{message.kind}")
 
     def _arrive(self, dst: NodeId, stamped: StampedMessage) -> None:
-        self.ordering.on_arrival(dst, stamped, lambda m: self._deliver(dst, m))
+        deliver = self._deliver_cbs.get(dst)
+        if deliver is None:
+            def deliver(m: Message, _dst: NodeId = dst) -> None:
+                self._deliver(_dst, m)
+            self._deliver_cbs[dst] = deliver
+        self.ordering.on_arrival(dst, stamped, deliver)
 
     def _deliver(self, dst: NodeId, message: Message) -> None:
         node = self._nodes.get(dst)
         if node is None:
             raise UnknownNodeError(f"wired destination {dst!r} detached mid-flight")
         self.monitor.on_deliver(self.name, message)
-        self.recorder.record(
-            self.sim.now, "recv", dst,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.sim.now, "recv", dst,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
+                detail=message.describe(),
+            )
         node.on_wired_message(message)

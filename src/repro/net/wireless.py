@@ -124,11 +124,12 @@ class WirelessChannel:
         message.src = station.node_id
         message.dst = host_id
         self.monitor.on_send(self.name, message)
-        self.recorder.record(
-            self.sim.now, "send", station.node_id,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, dst=host_id,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.sim.now, "send", station.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, dst=host_id,
+                detail=message.describe(),
+            )
         delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
                                                               message)
         self.sim.schedule(delay, self._deliver_downlink, station, host, message,
@@ -146,11 +147,12 @@ class WirelessChannel:
             self._drop(message, "loss")
             return
         self.monitor.on_deliver(self.name, message)
-        self.recorder.record(
-            self.sim.now, "recv", host.node_id,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.sim.now, "recv", host.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
+                detail=message.describe(),
+            )
         host.on_wireless_message(message)
 
     def uplink(self, host: WirelessHost, message: Message) -> None:
@@ -163,11 +165,12 @@ class WirelessChannel:
         message.src = host.node_id
         message.dst = station.node_id
         self.monitor.on_send(self.name, message)
-        self.recorder.record(
-            self.sim.now, "send", host.node_id,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, dst=station.node_id,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.sim.now, "send", host.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, dst=station.node_id,
+                detail=message.describe(),
+            )
         delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
                                                               message)
         self.sim.schedule(delay, self._deliver_uplink, station, message,
@@ -178,16 +181,18 @@ class WirelessChannel:
             self._drop(message, "loss")
             return
         self.monitor.on_deliver(self.name, message)
-        self.recorder.record(
-            self.sim.now, "recv", station.node_id,
-            net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
-            detail=message.describe(),
-        )
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.sim.now, "recv", station.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, src=message.src,
+                detail=message.describe(),
+            )
         station.on_wireless_message(message)
 
     def _drop(self, message: Message, reason: str) -> None:
         self.monitor.on_drop(self.name, message, reason)
-        self.recorder.record(
-            self.sim.now, "drop", message.dst or "?",
-            net=self.name, msg=message.kind, msg_id=message.msg_id, reason=reason,
-        )
+        if self.recorder.wants("drop"):
+            self.recorder.record(
+                self.sim.now, "drop", message.dst or "?",
+                net=self.name, msg=message.kind, msg_id=message.msg_id, reason=reason,
+            )

@@ -2,31 +2,55 @@
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
-_event_counter = itertools.count()
+
+def _noop() -> None:
+    return None
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Events are totally ordered by ``(time, seq)``: ties on simulated time
     are broken by scheduling order so that runs are fully deterministic.
+    The sequence number is issued per :class:`~repro.sim.simulator.Simulator`
+    instance, so two simulators in one process produce identical schedules.
+
+    The heap itself stores ``(time, seq, event)`` tuples so ordering is
+    resolved by tuple comparison; ``__lt__`` is kept for direct
+    comparisons in tests and debugging.
     """
 
-    time: float
-    seq: int = field(default_factory=lambda: next(_event_counter))
-    callback: Callable[..., Any] = field(compare=False, default=lambda: None)
-    args: tuple = field(compare=False, default=())
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "label", "cancelled",
+                 "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any] = _noop,
+        args: tuple = (),
+        label: str = "",
+        seq: int = 0,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.label = label
+        self.cancelled = False
+        self._sim: Any = None
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            sim = self._sim
+            if sim is not None:
+                sim._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (the simulator calls this; tests may too)."""

@@ -18,6 +18,13 @@ from typing import Any, Callable, Optional
 from ..errors import SchedulingError, SimulationError
 from .event import Event
 
+# Cancelled events stay in the heap as tombstones until popped.  When
+# timer churn (retransmission timers, mobility restarts) leaves many
+# tombstones buried mid-heap, the queue is rebuilt without them.  The
+# rebuild triggers only when tombstones are both numerous and a majority
+# of the queue, so steady-state scheduling never pays for it.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Simulator:
     """Deterministic discrete-event simulation kernel.
@@ -37,10 +44,12 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: float = 0.0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._running = False
         self._stopped = False
         self._events_executed = 0
+        self._seq = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -83,9 +92,28 @@ class Simulator:
             raise SchedulingError(
                 f"event time {time} is in the past (now={self._now})"
             )
-        event = Event(time=time, callback=callback, args=args, label=label)
-        heapq.heappush(self._queue, event)
+        self._seq += 1
+        event = Event(time, callback, args, label, self._seq)
+        event._sim = self
+        heapq.heappush(self._queue, (time, self._seq, event))
+        if (self._cancelled_pending > _COMPACT_MIN_CANCELLED
+                and self._cancelled_pending * 2 > len(self._queue)):
+            self._compact()
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` to track tombstone pressure."""
+        self._cancelled_pending += 1
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled tombstones.
+
+        In-place (slice assignment) so the run loop's alias of the queue
+        stays valid when a callback's ``schedule`` triggers compaction.
+        """
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_pending = 0
 
     def stop(self) -> None:
         """Stop the run loop after the currently-firing event returns."""
@@ -98,7 +126,10 @@ class Simulator:
         ----------
         until:
             If given, do not fire events scheduled after this time; the
-            clock is advanced to ``until`` when the limit is reached.
+            clock is advanced to ``until`` once no live event at or
+            before ``until`` remains (it is *not* advanced when
+            ``max_events`` cut the run short with earlier events still
+            queued — time never flows backwards across calls).
         max_events:
             If given, stop after firing this many events (guard against
             livelock in experiments).
@@ -108,17 +139,20 @@ class Simulator:
         self._running = True
         self._stopped = False
         fired = 0
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue and not self._stopped:
-                event = self._queue[0]
+            while queue and not self._stopped:
+                time, _seq, event = queue[0]
                 if event.cancelled:
-                    heapq.heappop(self._queue)
+                    pop(queue)
+                    self._cancelled_pending -= 1
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                self._now = event.time
-                event.fire()
+                pop(queue)
+                self._now = time
+                event.callback(*event.args)
                 self._events_executed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
@@ -126,23 +160,26 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self._now < until and not self._stopped:
-            self._now = until
+            next_time = self.peek_next_time()
+            if next_time is None or next_time > until:
+                self._now = until
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Run until no events remain; raise if *max_events* is exceeded."""
         self.run(max_events=max_events)
         if self._queue and not self._stopped:
-            live = [e for e in self._queue if not e.cancelled]
+            live = [e for _, _, e in self._queue if not e.cancelled]
             if live:
                 raise SimulationError(
                     f"simulation did not go idle within {max_events} events; "
-                    f"{len(live)} live events remain (first: {live[0]!r})"
+                    f"{len(live)} live events remain (first: {min(live)!r})"
                 )
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next live event, or None when idle."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]

@@ -50,8 +50,20 @@ class TraceRecorder:
     """Collects trace records; optionally filters by kind.
 
     Recording everything in large sweeps is wasteful, so a recorder can be
-    created with ``enabled=False`` (records nothing, counters still work)
-    or with a ``kinds`` whitelist.
+    created with ``enabled=False`` or with a ``kinds`` whitelist.  Rows
+    rejected by either filter are not kept, not pushed to sinks, and not
+    counted: ``counts`` always agrees with the kept records
+    (``counts[k] == len(filter(kind=k))``).
+
+    Hot-path contract: call :meth:`wants` first when building the record's
+    fields is itself costly, and pass expensive ``detail`` strings as
+    zero-argument callables — :meth:`record` only evaluates them for rows
+    it actually keeps::
+
+        if recorder.wants("send"):
+            recorder.record(now, "send", node, detail=message.describe())
+        # or, unguarded:
+        recorder.record(now, "send", node, detail=message.describe)
     """
 
     def __init__(
@@ -77,13 +89,28 @@ class TraceRecorder:
         if sink in self._sinks:
             self._sinks.remove(sink)
 
+    def wants(self, kind: str) -> bool:
+        """True when a record of *kind* would be kept by :meth:`record`.
+
+        The fast path for hot call sites: skip building record fields
+        (and ``describe()`` strings) entirely when nothing will be kept.
+        """
+        return self.enabled and (self._kinds is None or kind in self._kinds)
+
     def record(self, time: float, kind: str, node: str, **fields: Any) -> None:
-        """Record one row (cheap no-op when disabled or filtered out)."""
-        self.counts[kind] = self.counts.get(kind, 0) + 1
+        """Record one row (cheap no-op when disabled or filtered out).
+
+        A callable ``detail`` field is evaluated lazily — only for rows
+        that pass the enabled/kinds filters.
+        """
         if not self.enabled:
             return
         if self._kinds is not None and kind not in self._kinds:
             return
+        detail = fields.get("detail")
+        if detail is not None and callable(detail):
+            fields["detail"] = detail()
+        self.counts[kind] = self.counts.get(kind, 0) + 1
         rec = TraceRecord(time=time, kind=kind, node=node, fields=dict(fields))
         self._records.append(rec)
         for sink in self._sinks:

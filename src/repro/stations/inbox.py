@@ -77,8 +77,13 @@ class Inbox:
         self.sim.schedule(self.proc_delay, self._finish, message, label="inbox:proc")
 
     def _finish(self, message: Message) -> None:
-        self.handler(message)
-        self._start_next()
+        # try/finally: a raising handler must not leave the server marked
+        # busy forever — that would silently wedge every later message.
+        # The exception still propagates (fails the simulation loudly).
+        try:
+            self.handler(message)
+        finally:
+            self._start_next()
 
     @property
     def depth(self) -> int:

@@ -236,10 +236,11 @@ class MobileSupportStation:
         message.src = self.node_id
         message.dst = self.node_id
         self.instr.metrics.incr("local_dispatches", node=self.node_id)
-        self.instr.recorder.record(
-            self.sim.now, "send", self.node_id,
-            net="local", msg=message.kind, msg_id=message.msg_id,
-            dst=self.node_id, detail=message.describe())
+        if self.instr.recorder.wants("send"):
+            self.instr.recorder.record(
+                self.sim.now, "send", self.node_id,
+                net="local", msg=message.kind, msg_id=message.msg_id,
+                dst=self.node_id, detail=message.describe())
         self.sim.schedule(0.0, self._inbox.push, message, label="mss:local")
 
     def _downlink(self, mh: NodeId, message: Message) -> None:

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core.protocol import AckMsg, DeregMsg, RequestMsg
 from repro.sim import Simulator
 from repro.stations.inbox import (
@@ -137,3 +139,28 @@ def test_depth_reports_waiting(sim):
     inbox.push(_request())
     inbox.push(_request())
     assert inbox.depth == 2  # one in service
+
+
+def test_raising_handler_does_not_wedge_queue(sim):
+    # Regression: an exception inside the handler used to skip
+    # _start_next(), leaving the server marked busy forever and silently
+    # freezing every later message.
+    handled = []
+
+    def handler(message):
+        if not handled:
+            handled.append("failed")
+            raise RuntimeError("handler blew up")
+        handled.append(message)
+
+    inbox = Inbox(sim, handler, proc_delay=0.5)
+    inbox.push(_request())
+    inbox.push(_ack(1))
+    with pytest.raises(RuntimeError):
+        sim.run()  # fails loudly on the first message...
+    sim.run()
+    assert handled[0] == "failed"  # ...but the queue kept going
+    assert len(handled) == 2 and isinstance(handled[1], AckMsg)
+    inbox.push(_request())
+    sim.run()
+    assert len(handled) == 3

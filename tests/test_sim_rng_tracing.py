@@ -56,19 +56,52 @@ def test_recorder_records_and_filters():
     assert rec.filter(kind="send", msg="ack")[0].time == 3.0
 
 
-def test_recorder_disabled_still_counts():
+def test_recorder_disabled_is_noop():
     rec = TraceRecorder(enabled=False)
     rec.record(1.0, "send", "n1")
     assert len(rec) == 0
-    assert rec.counts["send"] == 1
+    assert rec.counts == {}
+    assert not rec.wants("send")
 
 
 def test_recorder_kind_whitelist():
+    # counts must agree with the kept records: filtered-out kinds are
+    # neither stored nor counted.
     rec = TraceRecorder(kinds={"send"})
     rec.record(1.0, "send", "n1")
     rec.record(1.0, "recv", "n2")
     assert len(rec) == 1
-    assert rec.counts == {"send": 1, "recv": 1}
+    assert rec.counts == {"send": 1}
+    assert rec.wants("send") and not rec.wants("recv")
+
+
+def test_recorder_enabled_counts_match_records():
+    rec = TraceRecorder()
+    rec.record(1.0, "send", "n1")
+    rec.record(2.0, "send", "n1")
+    rec.record(3.0, "recv", "n2")
+    assert rec.counts == {"send": 2, "recv": 1}
+    assert rec.counts["send"] == len(rec.filter(kind="send"))
+    assert rec.wants("send") and rec.wants("anything")
+
+
+def test_recorder_lazy_detail_only_evaluated_when_kept():
+    calls = []
+
+    def describe():
+        calls.append(1)
+        return "expensive"
+
+    disabled = TraceRecorder(enabled=False)
+    disabled.record(1.0, "send", "n1", detail=describe)
+    filtered = TraceRecorder(kinds={"recv"})
+    filtered.record(1.0, "send", "n1", detail=describe)
+    assert calls == []
+
+    kept = TraceRecorder()
+    kept.record(1.0, "send", "n1", detail=describe)
+    assert calls == [1]
+    assert kept.records[0].get("detail") == "expensive"
 
 
 def test_recorder_sink_callback():

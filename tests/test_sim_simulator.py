@@ -42,6 +42,55 @@ def test_run_until_limits_and_advances_clock(sim):
     assert out == ["a", "b"]
 
 
+def test_event_cap_does_not_advance_clock_past_queued_events(sim):
+    # Regression: run(until=T, max_events=N) used to jump the clock to T
+    # even when the cap stopped the run with earlier events still queued,
+    # so the next run() moved time backwards.
+    times = []
+    for t in (1.0, 2.0, 3.0):
+        sim.schedule(t, times.append, t)
+    sim.run(until=10.0, max_events=1)
+    assert times == [1.0]
+    assert sim.now == 1.0  # not 10.0: events at 2.0 and 3.0 are still due
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+    assert sim.now == 10.0
+
+
+def test_event_cap_with_only_cancelled_events_left_advances(sim):
+    sim.schedule(1.0, lambda: None)
+    leftover = sim.schedule(2.0, lambda: None)
+    leftover.cancel()
+    sim.run(until=5.0, max_events=1)
+    assert sim.now == 5.0  # nothing live remains at or before `until`
+
+
+def test_cancelled_tombstones_are_compacted(sim):
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+    for event in events[:150]:
+        event.cancel()
+    assert sim.pending_events == 200
+    sim.schedule(300.0, lambda: None)  # triggers the lazy compaction
+    assert sim.pending_events == 51
+    sim.run()
+    assert sim.events_executed == 51
+
+
+def test_compaction_during_run_keeps_order(sim):
+    out = []
+
+    def burst():
+        events = [sim.schedule(50.0 + i, out.append, -1) for i in range(200)]
+        for event in events:
+            event.cancel()
+        sim.schedule(5.0, out.append, "mid")  # compacts mid-run
+
+    sim.schedule(1.0, burst)
+    sim.schedule(10.0, out.append, "late")
+    sim.run()
+    assert out == ["mid", "late"]
+
+
 def test_schedule_relative_from_within_event(sim):
     out = []
 
