@@ -30,7 +30,7 @@ Quickstart::
 """
 
 from . import presets
-from .config import LatencySpec, WorldConfig
+from .config import LatencySpec, WiredFaultSpec, WorldConfig
 from .errors import ReproError
 from .instruments import Instruments
 from .world import World
@@ -41,6 +41,7 @@ __all__ = [
     "Instruments",
     "LatencySpec",
     "ReproError",
+    "WiredFaultSpec",
     "World",
     "presets",
     "WorldConfig",

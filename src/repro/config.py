@@ -8,9 +8,10 @@ Experiments sweep these fields.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from .errors import ConfigError
+from .net.reliable import RetryPolicy
 
 TOPOLOGIES = ("line", "ring", "grid", "complete")
 ORDERINGS = ("raw", "fifo", "causal")
@@ -34,6 +35,44 @@ class LatencySpec:
 
 
 @dataclass
+class WiredFaultSpec:
+    """Fault injection for the wired fabric (breaks assumption 1).
+
+    Built into a seeded :class:`~repro.net.faults.FaultPlan` by the
+    world (stream ``faults.wired``).  Partitions are
+    ``(node_a, node_b, t0, t1)`` windows over wired node ids, e.g.
+    ``(mss_id("s0"), mss_id("s1"), 20.0, 28.0)``.
+    """
+
+    loss: float = 0.0
+    duplication: float = 0.0
+    spike_probability: float = 0.0
+    spike: float = 0.5
+    partitions: Tuple[Tuple[str, str, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, rate in (("loss", self.loss),
+                           ("duplication", self.duplication),
+                           ("spike_probability", self.spike_probability)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"wired fault {name} {rate!r} out of [0, 1]")
+        if self.spike < 0:
+            raise ConfigError(f"negative wired delay spike {self.spike!r}")
+        for window in self.partitions:
+            if len(window) != 4:
+                raise ConfigError(f"malformed partition window {window!r}")
+            _a, _b, t0, t1 = window
+            if t1 <= t0:
+                raise ConfigError(f"empty partition window {window!r}")
+
+    @property
+    def active(self) -> bool:
+        """Does this spec actually perturb anything?"""
+        return bool(self.loss or self.duplication or self.spike_probability
+                    or self.partitions)
+
+
+@dataclass
 class WorldConfig:
     """Everything needed to build a world."""
 
@@ -54,6 +93,19 @@ class WorldConfig:
     # Models geography: Mobile-IP-style home rendezvous pays triangle
     # routing, RDP's local proxies do not (experiment AN11).
     wired_distance_delay: Optional[float] = None
+    # Wired fault injection; None = the paper's lossless fabric.
+    wired_faults: Optional[WiredFaultSpec] = None
+    # Reliable link transport under the ordering layer.  None = automatic
+    # (on iff wired_faults is set); False with faults demonstrates what
+    # the transport buys (AN14 ablation); True without faults exercises
+    # the ack machinery on a clean fabric.
+    wired_reliable: Optional[bool] = None
+    # Retransmission schedule for the reliable link; None = defaults.
+    wired_retry: Optional[RetryPolicy] = None
+    # Proxy-side redelivery of unacknowledged results (crash healing).
+    # None = automatic: 5.0 s when wired_faults is set, otherwise off
+    # (the paper's purely event-driven proxy).
+    proxy_ack_timeout: Optional[float] = None
     ordering: str = "causal"
     # MSS behaviour
     proc_delay: float = 0.0
@@ -86,7 +138,8 @@ class WorldConfig:
             raise ConfigError("grid dimensions must be positive")
         if self.topology == "ring" and self.n_cells < 3:
             raise ConfigError("a ring needs at least three cells")
-        if not 0.0 <= self.wireless_loss < 1.0:
+        # loss == 1.0 is a legal blackout scenario (nothing gets through).
+        if not 0.0 <= self.wireless_loss <= 1.0:
             raise ConfigError(f"wireless loss {self.wireless_loss!r} out of range")
         if self.proc_delay < 0 or self.ack_delay < 0:
             raise ConfigError("delays must be non-negative")

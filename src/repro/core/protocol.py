@@ -306,6 +306,68 @@ class AckForwardMsg(Message):
 
 
 @dataclass(slots=True, kw_only=True)
+class DelProxyConfirmMsg(Message):
+    """respMss -> proxy: removal confirmed outside the Ack stream.
+
+    Normally del-proxy piggybacks on the next forwarded Ack (Section
+    3.3), but when the Figure-4 special message loses a race against the
+    final Ack (fault-induced reordering), RKpR becomes true with nothing
+    outstanding and no further Ack to carry the flag — the proxy would
+    idle forever.  This explicit confirmation closes the handshake.
+    """
+
+    kind: ClassVar[str] = "del_proxy_confirm"
+    mh: NodeId
+    proxy_id: ProxyId
+
+    def describe(self) -> str:
+        return f"del_proxy_confirm({self.mh})"
+
+
+@dataclass(slots=True, kw_only=True)
+class ResultBounceMsg(Message):
+    """respMss -> proxy: a forwarded result arrived for an MH not here.
+
+    Robustness extension beyond the paper: normally a stale forward is
+    healed by the next ``update_currentloc``-triggered retransmission, but
+    an MSS crash can destroy the pref whose location update the proxy is
+    waiting for — leaving an orphaned proxy holding an unacknowledged
+    result forever.  Bouncing the forward back lets the proxy re-send on
+    its own (bounded-backoff) schedule until the MH re-registers
+    somewhere the forward can reach it.
+    """
+
+    kind: ClassVar[str] = "result_bounce"
+    mh: NodeId
+    proxy_id: ProxyId
+    request_id: RequestId
+
+    def describe(self) -> str:
+        return f"result_bounce({self.request_id})"
+
+
+@dataclass(slots=True, kw_only=True)
+class MhLocateMsg(Message):
+    """proxyMss -> all MSSs: page for an MH whose location was lost.
+
+    Robustness extension beyond the paper: when a bounced result keeps
+    bouncing (see :class:`ResultBounceMsg`), the proxy's ``currentloc``
+    is stale and — because the crash also wiped the pref — no
+    ``update_currentloc`` will ever correct it.  The hosting MSS pages
+    every station; the one currently hosting the MH answers with the
+    ordinary :class:`UpdateCurrentLocMsg`, after which the normal
+    re-forward/ack machinery takes over.
+    """
+
+    kind: ClassVar[str] = "mh_locate"
+    mh: NodeId
+    proxy_ref: ProxyRef
+
+    def describe(self) -> str:
+        return f"mh_locate({self.mh})"
+
+
+@dataclass(slots=True, kw_only=True)
 class CreateProxyMsg(Message):
     """respMss asks another MSS to host a new proxy (placement policies).
 

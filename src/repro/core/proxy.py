@@ -26,8 +26,10 @@ from ..types import NodeId, ProxyId, ProxyRef, RequestId
 from .protocol import (
     AckForwardMsg,
     DelPrefNoticeMsg,
+    DelProxyConfirmMsg,
     ForwardedRequestMsg,
     NotificationMsg,
+    ResultBounceMsg,
     ResultForwardMsg,
     ServerAckMsg,
     ServerRequestMsg,
@@ -35,6 +37,18 @@ from .protocol import (
     SubscriptionEndMsg,
     UpdateCurrentLocMsg,
 )
+
+#: Bounce-retry backoff: base delay doubled per forward attempt, capped.
+#: Long enough for a crashed respMss to come back and the MH to
+#: re-register; short enough to beat the client's end-to-end retry.
+_BOUNCE_RETRY_BASE = 0.5
+_BOUNCE_RETRY_CAP = 8.0
+
+#: Cap on the exponential growth of the ack-timeout redelivery delay.
+#: Kept small: each redelivery is one more chance for the wireless ack
+#: uplink to survive, and an unacked result must converge within a
+#: bounded drain window rather than back off past it.
+_ACK_TIMEOUT_CAP_FACTOR = 4
 
 _delivery_ids = itertools.count(1)
 
@@ -47,6 +61,7 @@ class ProxyHost(Protocol):
     def proxy_wired_send(self, dst: NodeId, message: Any) -> None: ...
     def resolve_service(self, service: str) -> Optional[NodeId]: ...
     def remove_proxy(self, proxy_id: ProxyId) -> None: ...
+    def proxy_page_mh(self, mh: NodeId, reply_to: "ProxyRef") -> None: ...
 
 
 @dataclass
@@ -77,6 +92,7 @@ class Proxy:
         proxy_id: ProxyId,
         instruments: Instruments,
         send_server_acks: bool = False,
+        ack_timeout: Optional[float] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -84,9 +100,18 @@ class Proxy:
         self.proxy_id = proxy_id
         self.instr = instruments
         self.send_server_acks = send_server_acks
+        # When set, a forwarded result that is not acknowledged within the
+        # timeout is re-forwarded (exponential backoff).  Off by default:
+        # the paper's proxy is purely event-driven, and on a reliable
+        # fabric every orphan is healed by the next update_currentloc.
+        # Fault-injected worlds need it — an MSS crash can destroy the
+        # pref whose location update the proxy is waiting for.
+        self.ack_timeout = ack_timeout
         self.currentloc: NodeId = host.node_id
         self.requestlist: Dict[RequestId, RequestRecord] = {}
         self.completed: Set[RequestId] = set()
+        self._bounce_retries: Set[RequestId] = set()
+        self._ack_timers: Dict[RequestId, Any] = {}
         self.deleted = False
         self.created_at = sim.now
         self.retransmissions = 0
@@ -199,11 +224,57 @@ class Proxy:
                 retransmission = record.forward_count > 0
                 self._forward_result(record, retransmission=retransmission)
 
+    def handle_del_proxy_confirm(self, msg: DelProxyConfirmMsg) -> None:
+        """Explicit removal confirmation (the piggyback race closer)."""
+        if self.deleted:
+            return
+        if self.requestlist:
+            # New work arrived through a re-created pref in the meantime;
+            # never drop live requests (same guard as the Ack-borne flag).
+            self.instr.metrics.incr("proxy_del_proxy_with_pending")
+            return
+        self._delete()
+
+    def handle_result_bounce(self, msg: ResultBounceMsg) -> None:
+        """A forwarded result found no MH at ``currentloc``: retry later.
+
+        Without this the orphan is permanent when the respMss crash wiped
+        the pref that would have triggered the next ``update_currentloc``
+        retransmission.  One timer per request; deterministic exponential
+        backoff so repeated bounces against a long outage stay cheap.
+        """
+        record = self.requestlist.get(msg.request_id)
+        if (self.deleted or record is None or not record.result_received
+                or msg.request_id in self._bounce_retries):
+            self.instr.metrics.incr("proxy_stale_bounces")
+            return
+        self._bounce_retries.add(msg.request_id)
+        delay = min(_BOUNCE_RETRY_CAP,
+                    _BOUNCE_RETRY_BASE * (2 ** min(record.forward_count, 6)))
+        self.instr.metrics.incr("proxy_bounce_retries", node=self.host.node_id)
+        self.sim.schedule(delay, self._bounce_retry, msg.request_id,
+                          label="proxy:bounce-retry")
+
+    def _bounce_retry(self, request_id: RequestId) -> None:
+        self._bounce_retries.discard(request_id)
+        record = self.requestlist.get(request_id)
+        if self.deleted or record is None or not record.result_received:
+            return  # acked (or the proxy died) while we waited
+        # The bounce proved currentloc is stale; page for the MH so the
+        # station actually hosting it corrects us with update_currentloc.
+        # The blind re-forward still goes out: the MH may simply have
+        # returned to currentloc in the meantime.
+        self.host.proxy_page_mh(self.mh, self.ref)
+        self._forward_result(record, retransmission=True)
+
     def handle_ack_forward(self, msg: AckForwardMsg) -> None:
         record = self.requestlist.pop(msg.request_id, None)
         if record is None:
             self.instr.metrics.incr("proxy_duplicate_acks")
         else:
+            timer = self._ack_timers.pop(msg.request_id, None)
+            if timer is not None:
+                timer.cancel()
             self.completed.add(msg.request_id)
             if self.instr.recorder.wants("proxy_ack"):
                 self.instr.recorder.record(self.sim.now, "proxy_ack",
@@ -259,6 +330,32 @@ class Proxy:
             del_pref=del_pref,
             retransmission=retransmission,
         ))
+        self._arm_ack_timer(record)
+
+    def _arm_ack_timer(self, record: RequestRecord) -> None:
+        if self.ack_timeout is None:
+            return
+        old = self._ack_timers.pop(record.request_id, None)
+        if old is not None:
+            old.cancel()
+        delay = self.ack_timeout * min(_ACK_TIMEOUT_CAP_FACTOR,
+                                       2 ** max(0, record.forward_count - 1))
+        self._ack_timers[record.request_id] = self.sim.schedule(
+            delay, self._ack_timeout_fired, record.request_id,
+            label="proxy:ack-timeout")
+
+    def _ack_timeout_fired(self, request_id: RequestId) -> None:
+        self._ack_timers.pop(request_id, None)
+        record = self.requestlist.get(request_id)
+        if self.deleted or record is None or not record.result_received:
+            return  # acked (or the proxy died) in the meantime
+        self.instr.metrics.incr("proxy_ack_timeouts", node=self.host.node_id)
+        self._forward_result(record, retransmission=True)
+
+    def _cancel_ack_timers(self) -> None:
+        for timer in self._ack_timers.values():
+            timer.cancel()
+        self._ack_timers.clear()
 
     def _maybe_signal_last_pending(self) -> None:
         """Figure 4's special message: when an Ack leaves exactly one
@@ -320,11 +417,13 @@ class Proxy:
     def mark_migrated(self) -> None:
         """The old host calls this after exporting: the object is dead."""
         self.deleted = True
+        self._cancel_ack_timers()
 
     def _delete(self) -> None:
         if self.deleted:
             return
         self.deleted = True
+        self._cancel_ack_timers()
         self.instr.metrics.incr("proxies_deleted", node=self.host.node_id)
         self.instr.metrics.observe("proxy_lifetime", self.sim.now - self.created_at)
         self.instr.recorder.record(self.sim.now, "proxy_delete", self.host.node_id,

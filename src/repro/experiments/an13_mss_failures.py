@@ -91,8 +91,12 @@ def run_failures(
         def crash() -> None:
             if world.sim.now > issue_until:
                 return
-            station = world.stations[crash_rng.choice(world.cells)]
-            station.crash_and_restart()
+            # Instantaneous crash+reboot through the first-class World
+            # API: all volatile state is lost but no downtime accrues,
+            # isolating the cost of state loss from the cost of outages
+            # (the chaos soak covers real downtime windows).
+            station = world.crash_mss(crash_rng.choice(world.cells))
+            world.restart_mss(station.name)
             crashes[0] += 1
         crasher = PeriodicProcess(
             world.sim, crash,

@@ -1,0 +1,268 @@
+"""AN14 (exploration) — the standing chaos soak.
+
+``python -m repro.experiments chaos`` runs a pinned fault-injection
+scenario — the AN1 workload (mobile hosts roaming a ring, issuing
+requests with client retry) under a hostile wired fabric: message loss,
+duplication, delay spikes, a timed link partition and an MSS
+crash/restart cycle — with the PR-1 invariant oracle attached the whole
+time.  The claim under test is the tentpole of the fault work: the
+:class:`~repro.net.reliable.ReliableLink` transport restores
+assumption 1 well enough that *every* protocol invariant (exactly-once
+delivery, no lost result, causal wired order, ...) holds end to end
+even though the fabric underneath is actively misbehaving.
+
+The result is written as JSON (``CHAOS_report.json`` at the repo root
+by default) in the same two-section shape as the bench report:
+
+* ``scenario`` + ``determinism`` — pinned inputs and simulation-domain
+  outputs (counts, oracle verdict, transport/fault counters).  These
+  must be byte-identical between two runs of the same preset; CI's
+  ``chaos-smoke`` job enforces it and gates on zero violations.
+* ``timing`` — wall-clock measurements, different on every run.
+
+Run with ``reliable=False`` (CLI ``--unreliable``) to watch the same
+faults wreck the protocol without the transport — the ablation that
+shows what the reliable link buys.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from ..config import LatencySpec, WiredFaultSpec, WorldConfig
+from ..mobility.models import ExponentialResidence, RandomNeighborWalk
+from ..net.latency import ExponentialLatency
+from ..servers.echo import EchoServer
+from ..sim import PeriodicProcess
+from ..types import MhState, mss_id
+from ..verify.oracle import Oracle
+from ..world import World
+from ._timing import wall_clock
+from .harness import settle_active
+
+
+@dataclass(frozen=True)
+class ChaosPreset:
+    """One pinned chaos scenario (AN1 workload + wired faults)."""
+
+    name: str
+    n_hosts: int
+    n_cells: int
+    duration: float
+    seed: int = 2026
+    # workload
+    mean_interarrival: float = 6.0
+    mean_residence: float = 12.0
+    retry_interval: float = 4.0
+    wireless_loss: float = 0.05
+    # wired faults
+    wired_loss: float = 0.25
+    wired_dup: float = 0.08
+    spike_probability: float = 0.02
+    spike: float = 0.3
+    # one timed partition of the s0-s1 link
+    partition_at: float = 20.0
+    partition_length: float = 8.0
+    # one crash/restart cycle of s1
+    crash_at: float = 35.0
+    crash_downtime: float = 2.0
+
+
+#: Pinned scenarios.  ``soak`` is the standing report committed as
+#: CHAOS_report.json; ``smoke`` is the CI-sized variant the
+#: ``chaos-smoke`` job runs twice and diffs.  Do not retune casually:
+#: run-over-run comparability is the point.
+PRESETS: Dict[str, ChaosPreset] = {
+    "soak": ChaosPreset(name="soak", n_hosts=8, n_cells=6, duration=150.0),
+    "smoke": ChaosPreset(name="smoke", n_hosts=4, n_cells=5, duration=60.0),
+}
+
+
+def build_config(preset: ChaosPreset, reliable: bool = True) -> WorldConfig:
+    """The world configuration for one chaos scenario."""
+    t0 = preset.partition_at
+    return WorldConfig(
+        seed=preset.seed,
+        n_cells=preset.n_cells,
+        topology="ring",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=preset.wireless_loss,
+        wired_faults=WiredFaultSpec(
+            loss=preset.wired_loss,
+            duplication=preset.wired_dup,
+            spike_probability=preset.spike_probability,
+            spike=preset.spike,
+            partitions=((mss_id("s0"), mss_id("s1"),
+                         t0, t0 + preset.partition_length),),
+        ),
+        wired_reliable=reliable,
+        trace=True,  # the oracle needs the trace stream
+    )
+
+
+def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
+    """Run one chaos scenario; return the result document."""
+    started = wall_clock()
+    world = World(build_config(preset, reliable=reliable))
+    oracle = Oracle()
+    oracle.attach(world.instruments.recorder)
+    world.add_server("echo", EchoServer,
+                     service_time=ExponentialLatency(scale=0.4, floor=0.05))
+
+    processes: List[PeriodicProcess] = []
+    issue_until = preset.duration * 0.8
+    for i in range(preset.n_hosts):
+        name = f"mh{i}"
+        client = world.add_host(name, world.cells[i % preset.n_cells],
+                                retry_interval=preset.retry_interval)
+        world.add_mobility(name, RandomNeighborWalk(world.cell_map),
+                           ExponentialResidence(preset.mean_residence))
+        rng = world.rng.stream(f"chaos.{name}")
+
+        def issue(client=client) -> None:
+            if world.sim.now > issue_until:
+                return
+            if client.host.state is MhState.ACTIVE:
+                client.request("echo", len(client.requests))
+        proc = PeriodicProcess(
+            world.sim, issue,
+            lambda rng=rng: rng.expovariate(1.0 / preset.mean_interarrival),
+            label="chaos:issue")
+        proc.start()
+        processes.append(proc)
+
+    # One pinned crash/restart cycle of s1 (also one end of the
+    # partitioned link, so the transport sees both outage flavours).
+    crashed = world.stations[world.cells[1]]
+    world.sim.schedule(preset.crash_at, world.crash_mss, crashed.name,
+                       label="chaos:crash")
+    world.sim.schedule(preset.crash_at + preset.crash_downtime,
+                       world.restart_mss, crashed.name, label="chaos:restart")
+
+    world.run(until=preset.duration)
+    for proc in processes:
+        proc.stop()
+    for driver in world.drivers:
+        driver.stop()
+    _drain(world, reliable=reliable)
+
+    oracle.detach()
+    oracle.finish()
+    wall = wall_clock() - started
+
+    requests = sum(len(c.requests) for c in world.clients.values())
+    delivered = sum(len(c.completed) for c in world.clients.values())
+    monitor = world.monitor
+    transport = world.wired.transport
+    metrics = world.instruments.metrics
+    violations = sorted({v.invariant for v in oracle.violations})
+    return {
+        "schema": 1,
+        "scenario": {
+            "preset": preset.name,
+            "seed": preset.seed,
+            "n_hosts": preset.n_hosts,
+            "n_cells": preset.n_cells,
+            "duration": preset.duration,
+            "reliable": reliable,
+            "faults": world.wired.faults.describe()
+                      if world.wired.faults is not None else None,
+            "crash": [preset.crash_at,
+                      preset.crash_at + preset.crash_downtime],
+        },
+        "determinism": {
+            "events": world.sim.events_executed,
+            "messages": monitor.total_messages(),
+            "requests": requests,
+            "delivered": delivered,
+            "violations": len(oracle.violations),
+            "violated_invariants": violations,
+            "crashes": metrics.count("mss_crashes"),
+            "restarts": metrics.count("mss_restarts"),
+            "handoffs": metrics.count("handoffs_completed"),
+            "nacks": metrics.count("registration_nacks"),
+            "wired": {
+                "drops_loss": monitor.drops_of("wired", "loss"),
+                "drops_partition": monitor.drops_of("wired", "partition"),
+                "drops_down": monitor.drops_of("wired", "down"),
+                "dup_injected": world.wired.dup_injected,
+                "delivery_failures": len(world.wired.failures),
+                "transport": transport.describe() if transport else None,
+            },
+            "final_time": round(world.sim.now, 6),
+        },
+        "timing": {
+            "wall_seconds": round(wall, 3),
+        },
+    }
+
+
+def _drain(world: World, reliable: bool) -> None:
+    """Bounded settle: wake everyone, let retries run, then cut them.
+
+    Unlike the bench drain this must terminate even when requests are
+    unrecoverable by design (``reliable=False`` wedges SES channels), so
+    it runs a fixed number of deactivate/activate rounds instead of
+    looping until empty.
+    """
+    settle_active(world)
+    world.sim.run(until=world.sim.now + 30.0)
+    for _ in range(4):
+        for host in world.hosts.values():
+            if host.state is MhState.ACTIVE:
+                host.deactivate()
+        world.sim.run(until=world.sim.now + 20.0)
+        settle_active(world)
+        world.sim.run(until=world.sim.now + 20.0)
+    for client in world.clients.values():
+        client.cancel_retries()
+    world.sim.run(until=world.sim.now + 30.0)
+
+
+def render(result: Dict[str, Any]) -> str:
+    """One-screen human summary of a chaos report."""
+    scenario, det = result["scenario"], result["determinism"]
+    wired = det["wired"]
+    transport = wired["transport"] or {}
+    verdict = ("OK — all invariants held" if det["violations"] == 0 else
+               f"VIOLATED: {det['violations']} "
+               f"({', '.join(det['violated_invariants'])})")
+    return "\n".join([
+        f"chaos[{scenario['preset']}]: {scenario['n_hosts']} MHs on a "
+        f"{scenario['n_cells']}-cell ring, {scenario['duration']:.0f}s "
+        f"simulated (seed {scenario['seed']}, reliable link "
+        f"{'on' if scenario['reliable'] else 'OFF'})",
+        f"  oracle      {verdict}",
+        f"  requests    {det['requests']:>8,}   "
+        f"({det['delivered']:,} delivered)",
+        f"  wired loss  {wired['drops_loss']:>8,}   "
+        f"(+{wired['drops_partition']:,} partitioned, "
+        f"+{wired['drops_down']:,} to down nodes, "
+        f"{wired['dup_injected']:,} dups injected)",
+        f"  transport   {transport.get('retransmissions', 0):>8,} retx   "
+        f"({transport.get('acks_sent', 0):,} acks, "
+        f"{transport.get('duplicates_suppressed', 0):,} dups suppressed, "
+        f"{wired['delivery_failures']:,} gave up)",
+        f"  crashes     {det['crashes']:>8,}   "
+        f"({det['nacks']:,} registration nacks)",
+        f"  wall        {result['timing']['wall_seconds']:>8.3f}s",
+    ])
+
+
+def write_result(result: Dict[str, Any], out: pathlib.Path) -> None:
+    """Write the report as stable, diff-friendly JSON."""
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def default_out_path() -> pathlib.Path:
+    """``CHAOS_report.json`` at the repo root (next to ``src/``), falling
+    back to the working directory for installed trees."""
+    package_root = pathlib.Path(__file__).resolve().parents[2]
+    repo_root = package_root.parent
+    if (repo_root / "src").is_dir():
+        return repo_root / "CHAOS_report.json"
+    return pathlib.Path("CHAOS_report.json")

@@ -36,6 +36,7 @@ from .scenarios import run_fig1, run_fig3, run_fig4
 from ..errors import ConfigError
 from ..verify import fuzz as fuzz_mod
 from . import bench as bench_mod
+from . import chaos as chaos_mod
 from ._timing import wall_clock
 
 
@@ -147,6 +148,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="directory to write repro seed files into")
     fuzz.add_argument("--replay", type=pathlib.Path, default=None,
                       help="replay one repro seed file instead of fuzzing")
+    fuzz.add_argument("--fault-profile", action="store_true",
+                      help="fuzz over the wired fault profile too: "
+                           "loss/duplication plus crash/partition/wired_loss "
+                           "ops (see docs/FAULTS.md)")
     bench = sub.add_parser(
         "bench", help="run the pinned macro-benchmark and record "
                       "throughput (see EXPERIMENTS.md)")
@@ -158,6 +163,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "repo root)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
+    chaos = sub.add_parser(
+        "chaos", help="run the pinned fault-injection soak with the "
+                      "invariant oracle attached (see docs/FAULTS.md)")
+    chaos.add_argument("--preset", choices=sorted(chaos_mod.PRESETS),
+                       default="soak",
+                       help="scenario size (default soak; CI uses smoke)")
+    chaos.add_argument("--out", type=pathlib.Path, default=None,
+                       help="result file (default: CHAOS_report.json at the "
+                            "repo root)")
+    chaos.add_argument("--quiet", action="store_true",
+                       help="suppress the human-readable summary")
+    chaos.add_argument("--unreliable", action="store_true",
+                       help="disable the reliable link: same faults, no "
+                            "repair (demonstrates the violations it prevents)")
     analyze = sub.add_parser(
         "analyze", help="run the AST-based protocol-conformance and "
                         "determinism passes (see docs/STATIC_ANALYSIS.md)")
@@ -217,9 +236,11 @@ def run_fuzz(args: argparse.Namespace) -> int:
         return 0 if result.ok else 1
 
     started = wall_clock()
+    config = (fuzz_mod.FuzzConfig(fault_profile=True)
+              if args.fault_profile else None)
     campaign = fuzz_mod.run_campaign(
         seeds=args.seeds, base_seed=args.base_seed, protocol=args.protocol,
-        shrink=not args.no_shrink, out_dir=args.out,
+        config=config, shrink=not args.no_shrink, out_dir=args.out,
         progress=lambda line: print(f"  FAIL {line}"))
     elapsed = wall_clock() - started
     print(f"fuzzed {campaign.seeds} seeds ({args.protocol}, base "
@@ -246,6 +267,21 @@ def run_bench(args: argparse.Namespace) -> int:
         print(bench_mod.render(result))
     print(f"wrote {out}")
     return 0
+
+
+def run_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos`` subcommand: pinned fault soak -> JSON + summary."""
+    preset = chaos_mod.PRESETS[args.preset]
+    result = chaos_mod.run_chaos(preset, reliable=not args.unreliable)
+    out = args.out if args.out is not None else chaos_mod.default_out_path()
+    chaos_mod.write_result(result, out)
+    if not args.quiet:
+        print(chaos_mod.render(result))
+    print(f"wrote {out}")
+    violations = result["determinism"]["violations"]
+    # With the reliable link on, any violation is a protocol bug; without
+    # it violations are the expected demonstration, not a failure.
+    return 1 if violations and not args.unreliable else 0
 
 
 def run_analyze(args: argparse.Namespace) -> int:
@@ -302,6 +338,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_fuzz(args)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "chaos":
+        return run_chaos(args)
     if args.command == "analyze":
         return run_analyze(args)
 

@@ -84,6 +84,7 @@ class MobileHost:
         self._reg_seq = 0
         self._announcement: Tuple[Optional[NodeId], tuple, int] = (None, (), 0)
         self._seen_deliveries: Set[int] = set()
+        self._delivered_requests: Set[RequestId] = set()
         self._unacked: Set[RequestId] = set()
         self._queued_requests: List[RequestMsg] = []
         self._pending_ack_events: List[Any] = []
@@ -286,12 +287,18 @@ class MobileHost:
             listener()
 
     def _on_result(self, message: WirelessResultMsg) -> None:
-        duplicate = message.delivery_id in self._seen_deliveries
+        # Dedup by delivery id (assumption 5) AND by request id: after an
+        # MSS crash re-homes the chain, an orphaned older proxy can still
+        # deliver its own copy of a result under a fresh delivery id — the
+        # application must see each request's result exactly once.
+        duplicate = (message.delivery_id in self._seen_deliveries
+                     or message.request_id in self._delivered_requests)
         if duplicate:
             self.duplicate_deliveries += 1
             self.instr.metrics.incr("mh_duplicate_results", node=self.node_id)
         else:
             self._seen_deliveries.add(message.delivery_id)
+            self._delivered_requests.add(message.request_id)
             self.deliveries.append((self.sim.now, message.request_id, message.payload))
             if self.instr.recorder.wants("deliver"):
                 self.instr.recorder.record(self.sim.now, "deliver", self.node_id,

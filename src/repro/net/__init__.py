@@ -5,12 +5,15 @@
 * :class:`WirelessChannel` — cell radio with loss and inactivity drops
 * :class:`DirectoryService` — fixed-address server lookup
 * :class:`NetworkMonitor` — message/byte counters
+* :class:`FaultPlan` — seeded wired fault injection (loss/dup/partitions)
+* :class:`ReliableLink` — ack/retransmit transport repairing the faults
 * latency models in :mod:`repro.net.latency`
 * ordering layers (raw / fifo / causal) in :mod:`repro.net.causal`
 """
 
 from .causal import CausalOrdering, FifoOrdering, OrderingLayer, RawOrdering, make_ordering
 from .directory import DirectoryService
+from .faults import FaultPlan
 from .latency import (
     ConstantLatency,
     ExponentialLatency,
@@ -20,6 +23,7 @@ from .latency import (
 )
 from .message import Message
 from .monitor import NetworkMonitor
+from .reliable import DeliveryFailure, LinkAckMsg, ReliableLink, RetryPolicy
 from .vectorclock import VectorClock
 from .wired import WiredNetwork
 from .wireless import WirelessChannel
@@ -27,15 +31,20 @@ from .wireless import WirelessChannel
 __all__ = [
     "CausalOrdering",
     "ConstantLatency",
+    "DeliveryFailure",
     "DirectoryService",
     "ExponentialLatency",
+    "FaultPlan",
     "FifoOrdering",
     "LatencyModel",
+    "LinkAckMsg",
     "Message",
     "NetworkMonitor",
     "NormalLatency",
     "OrderingLayer",
     "RawOrdering",
+    "ReliableLink",
+    "RetryPolicy",
     "UniformLatency",
     "VectorClock",
     "WiredNetwork",

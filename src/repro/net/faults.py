@@ -1,0 +1,109 @@
+"""Deterministic fault injection for the wired fabric.
+
+The paper's assumption 1 makes the inter-MSS network reliable and
+causally ordered.  A :class:`FaultPlan` breaks the *reliable* half on
+purpose — seeded message loss, duplication, delay spikes, and timed link
+partitions — so the recovery machinery (``net/reliable.py``) can be
+exercised and measured instead of assumed.
+
+Every random decision draws from the plan's own ``random.Random``
+stream (worlds derive it from the master seed as ``faults.wired``), so a
+given seed produces the same fault schedule on every run.  The plan is
+consulted by :class:`~repro.net.wired.WiredNetwork` once per transmitted
+frame; drops and duplicates are recorded by the tracer under the
+``wired_drop`` / ``wired_dup`` kinds and counted by the
+:class:`~repro.net.monitor.NetworkMonitor`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError
+from ..types import NodeId
+
+# One partition window: the unordered link {a, b} is cut for t0 <= now < t1.
+PartitionWindow = Tuple[NodeId, NodeId, float, float]
+
+
+class FaultPlan:
+    """Seeded per-link fault schedule for the wired network.
+
+    Rates are independent per frame: ``loss`` is the probability a frame
+    vanishes in transit, ``duplication`` the probability it arrives
+    twice, ``spike_probability`` the chance of adding ``spike`` seconds
+    of extra latency.  Partitions are absolute-time windows during which
+    every frame on the named (undirected) link is dropped.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss: float = 0.0,
+        duplication: float = 0.0,
+        spike_probability: float = 0.0,
+        spike: float = 0.0,
+        partitions: Tuple[PartitionWindow, ...] = (),
+    ) -> None:
+        for name, rate in (("loss", loss), ("duplication", duplication),
+                           ("spike_probability", spike_probability)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"fault {name} {rate!r} out of [0, 1]")
+        if spike < 0:
+            raise ConfigError(f"negative delay spike {spike!r}")
+        self.rng = rng
+        self.loss = loss
+        self.duplication = duplication
+        self.spike_probability = spike_probability
+        self.spike = spike
+        self._partitions: List[PartitionWindow] = []
+        for window in partitions:
+            self.partition(*window)
+
+    # -- schedule construction -------------------------------------------
+
+    def partition(self, a: NodeId, b: NodeId, t0: float, t1: float) -> None:
+        """Cut the undirected link between *a* and *b* for ``[t0, t1)``."""
+        if t1 <= t0:
+            raise ConfigError(f"empty partition window [{t0!r}, {t1!r})")
+        self._partitions.append((a, b, t0, t1))
+
+    def set_loss(self, probability: float) -> None:
+        """Retarget the loss rate mid-run (used by the fuzzer's
+        ``wired_loss`` op)."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigError(f"loss probability {probability!r} out of [0, 1]")
+        self.loss = probability
+
+    # -- per-frame queries (called by WiredNetwork._transmit) ------------
+
+    def cut(self, src: NodeId, dst: NodeId, now: float) -> bool:
+        """Is the src-dst link inside an active partition window?"""
+        for a, b, t0, t1 in self._partitions:
+            if t0 <= now < t1 and {a, b} == {src, dst}:
+                return True
+        return False
+
+    def lost(self) -> bool:
+        return self.loss > 0.0 and self.rng.random() < self.loss
+
+    def duplicated(self) -> bool:
+        return self.duplication > 0.0 and self.rng.random() < self.duplication
+
+    def extra_delay(self) -> float:
+        if self.spike_probability > 0.0 and self.rng.random() < self.spike_probability:
+            return self.spike
+        return 0.0
+
+    # -- reporting --------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Schedule parameters for experiment reports (stable keys)."""
+        return {
+            "loss": self.loss,
+            "duplication": self.duplication,
+            "spike_probability": self.spike_probability,
+            "spike": self.spike,
+            "partitions": [list(window) for window in self._partitions],
+        }

@@ -63,6 +63,17 @@ class NetworkMonitor:
             if reason is None or r == reason
         )
 
+    def drops_of(self, network: str, reason: str | None = None,
+                 kind: str | None = None) -> int:
+        """Drops on one network, optionally filtered by reason and kind."""
+        return sum(
+            value
+            for (net, k, r), value in self.dropped_msgs.items()
+            if net == network
+            and (reason is None or r == reason)
+            and (kind is None or k == kind)
+        )
+
     def total_messages(self, network: str | None = None) -> int:
         return sum(
             value

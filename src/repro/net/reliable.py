@@ -1,0 +1,294 @@
+"""Reliable link layer for the wired fabric.
+
+When a :class:`~repro.net.faults.FaultPlan` makes the inter-MSS network
+lossy, the causal ordering layer above it wedges: SES parks any message
+whose constraints name a lost predecessor, forever.  ``ReliableLink``
+restores assumption 1 the way QRPC and I-TCP-style indirection do — an
+acknowledged, retransmitting hop per link:
+
+* every data frame carries a per-``(src, dst)`` channel sequence number;
+* the receiver acks **every** data frame (the first ack may itself have
+  been lost) and suppresses duplicates by sequence number;
+* the sender retransmits on timeout with exponential backoff, a
+  deterministic jitter drawn from its own seeded stream, and a bounded
+  retry budget — exhaustion surfaces a :class:`DeliveryFailure` signal
+  (trace kind ``delivery_failed``) instead of hanging.
+
+The transport sits *below* the ordering layer: retransmission re-sends
+the same stamped message, so ``on_send`` runs exactly once per message
+and the SES stamps stay valid.  Link acks are consumed here and never
+reach the ordering layer or the protocol trace (no ``send``/``recv``
+rows), so the PR-1 causal-order checker sees exactly the one logical
+send and the one post-dedup delivery.
+
+With no fault plan and no explicit opt-in the transport is not built at
+all and :class:`~repro.net.wired.WiredNetwork` keeps its original
+lossless single-hop path — zero overhead when off.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Dict, Optional, Set, Tuple
+
+from ..errors import ConfigError
+from ..sim import Event
+from ..types import NodeId
+from .causal import StampedMessage
+from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (wired imports us)
+    from .wired import WiredNetwork
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retransmission schedule: exponential backoff with bounded budget.
+
+    Attempt *n* (1-based) waits ``min(max_timeout, timeout * backoff**(n-1))``
+    seconds, stretched by a deterministic jitter factor in
+    ``[1, 1 + jitter]`` drawn from the link's seeded stream (jitter keeps
+    synchronized retransmit storms apart without breaking replay).  After
+    ``max_retries`` retransmissions (``max_retries + 1`` transmissions
+    total) the frame is abandoned and a :class:`DeliveryFailure` is
+    surfaced.
+    """
+
+    timeout: float = 0.25
+    backoff: float = 2.0
+    max_timeout: float = 8.0
+    jitter: float = 0.1
+    max_retries: int = 20
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0 or self.max_timeout < self.timeout:
+            raise ConfigError(f"bad retry timeouts in {self!r}")
+        if self.backoff < 1.0:
+            raise ConfigError(f"backoff {self.backoff!r} must be >= 1")
+        if self.jitter < 0:
+            raise ConfigError(f"negative jitter {self.jitter!r}")
+        if self.max_retries < 0:
+            raise ConfigError(f"negative retry budget {self.max_retries!r}")
+
+    def timeout_for(self, attempt: int, draw: float) -> float:
+        """Timeout before retransmitting transmission *attempt* (1-based);
+        *draw* is a uniform [0, 1) sample from the link's stream."""
+        base = min(self.max_timeout, self.timeout * self.backoff ** (attempt - 1))
+        return base * (1.0 + self.jitter * draw)
+
+
+@dataclass(slots=True, kw_only=True)
+class LinkAckMsg(Message):
+    """Transport-level acknowledgement of one link frame.
+
+    Internal to the reliable link: consumed by :meth:`ReliableLink.on_frame`
+    before the ordering layer, so it never appears in protocol traces and
+    carries no ack obligation of its own (acks are never acked — a lost
+    ack is repaired by the data frame's retransmission).
+    """
+
+    kind: ClassVar[str] = "link_ack"
+
+    seq: int = 0
+
+
+@dataclass(slots=True)
+class Frame:
+    """One wire transmission unit: a stamped protocol message or a link ack."""
+
+    src: NodeId
+    dst: NodeId
+    seq: int
+    stamped: Optional[StampedMessage] = None  # data frames
+    payload: Optional[Message] = None  # link acks
+
+    @property
+    def message(self) -> Message:
+        if self.stamped is not None:
+            return self.stamped.message
+        assert self.payload is not None
+        return self.payload
+
+
+@dataclass(frozen=True)
+class DeliveryFailure:
+    """A frame abandoned after exhausting its retry budget."""
+
+    time: float
+    src: NodeId
+    dst: NodeId
+    message: Message
+    attempts: int
+
+
+@dataclass(slots=True)
+class _Pending:
+    """Sender-side state for one unacknowledged frame."""
+
+    frame: Frame
+    attempts: int = 1
+    timer: Optional[Event] = None
+
+
+class _Channel:
+    """Receiver-side duplicate suppression for one (src, dst) channel.
+
+    Tracks the highest contiguous accepted sequence number plus a sparse
+    set of out-of-order arrivals above it, pruned as the gap closes, so
+    memory stays bounded by the reordering window rather than the
+    channel's lifetime.
+    """
+
+    __slots__ = ("contig", "above")
+
+    def __init__(self) -> None:
+        self.contig = 0
+        self.above: Set[int] = set()
+
+    def accept(self, seq: int) -> bool:
+        """True if *seq* is new (deliver it); False for a duplicate."""
+        if seq <= self.contig or seq in self.above:
+            return False
+        if seq == self.contig + 1:
+            self.contig = seq
+            above = self.above
+            while self.contig + 1 in above:
+                self.contig += 1
+                above.remove(self.contig)
+        else:
+            self.above.add(seq)
+        return True
+
+
+class ReliableLink:
+    """Per-link ack/retransmit transport under the ordering layer.
+
+    Owned by a :class:`~repro.net.wired.WiredNetwork`; uses the network's
+    ``_transmit`` (fault plan + latency + scheduling) for the wire and
+    hands deduplicated data frames back to ``_ordered_arrival``.
+    """
+
+    def __init__(self, net: "WiredNetwork", policy: RetryPolicy,
+                 rng: random.Random) -> None:
+        self.net = net
+        self.policy = policy
+        self.rng = rng
+        self._next_seq: Dict[Tuple[NodeId, NodeId], int] = {}
+        self._pending: Dict[Tuple[NodeId, NodeId, int], _Pending] = {}
+        self._seen: Dict[Tuple[NodeId, NodeId], _Channel] = {}
+        # Per-instance counters (experiment reports read these).
+        self.retransmissions = 0
+        self.acks_sent = 0
+        self.duplicates_suppressed = 0
+        self.aborted = 0
+
+    # -- sender side ------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, stamped: StampedMessage) -> None:
+        """Transmit a stamped message with at-least-once retransmission."""
+        channel = (src, dst)
+        seq = self._next_seq.get(channel, 0) + 1
+        self._next_seq[channel] = seq
+        frame = Frame(src=src, dst=dst, seq=seq, stamped=stamped)
+        pending = _Pending(frame=frame)
+        self._pending[(src, dst, seq)] = pending
+        self.net._transmit(src, dst, stamped.message, frame)
+        self._arm(pending)
+
+    def _arm(self, pending: _Pending) -> None:
+        timeout = self.policy.timeout_for(pending.attempts, self.rng.random())
+        pending.timer = self.net.sim.schedule(
+            timeout, self._expire, pending, label="wired:retx")
+
+    def _expire(self, pending: _Pending) -> None:
+        frame = pending.frame
+        key = (frame.src, frame.dst, frame.seq)
+        if self._pending.get(key) is not pending:
+            return  # acked or aborted while the timer was in flight
+        if pending.attempts > self.policy.max_retries:
+            del self._pending[key]
+            self.net._delivery_failed(frame, pending.attempts)
+            return
+        pending.attempts += 1
+        self.retransmissions += 1
+        self.net._transmit(frame.src, frame.dst, frame.message, frame,
+                           retransmit=True)
+        self._arm(pending)
+
+    def abort_from(self, node: NodeId) -> int:
+        """Cancel every unacked send *from* a crashed node (its volatile
+        send state is gone; survivors' retransmissions toward it keep
+        running and bridge the outage).  Returns the number cancelled."""
+        cancelled = 0
+        for key in [k for k in self._pending if k[0] == node]:
+            pending = self._pending.pop(key)
+            if pending.timer is not None:
+                pending.timer.cancel()
+            cancelled += 1
+        self.aborted += cancelled
+        return cancelled
+
+    # -- receiver side ----------------------------------------------------
+
+    def on_frame(self, frame: Frame) -> None:
+        """A frame survived the wire: consume acks, ack + dedup data."""
+        message = frame.message
+        if isinstance(message, LinkAckMsg):
+            self._on_link_ack(message)
+            return
+        # Ack every arrival, duplicates included: the previous ack may
+        # itself have been lost and the sender is still retransmitting.
+        self._send_ack(frame)
+        channel = self._seen.get((frame.src, frame.dst))
+        if channel is None:
+            channel = self._seen[(frame.src, frame.dst)] = _Channel()
+        if not channel.accept(frame.seq):
+            self.duplicates_suppressed += 1
+            self.net.monitor.on_drop(self.net.name, message, "duplicate")
+            return
+        assert frame.stamped is not None
+        self.net._ordered_arrival(frame.dst, frame.stamped)
+
+    def _on_link_ack(self, ack: LinkAckMsg) -> None:
+        self.net.monitor.on_deliver(self.net.name, ack)
+        # The acked channel runs data-sender -> data-receiver; the ack
+        # travels the reverse direction, so swap its endpoints back.
+        assert ack.src is not None and ack.dst is not None
+        pending = self._pending.pop((ack.dst, ack.src, ack.seq), None)
+        if pending is not None and pending.timer is not None:
+            pending.timer.cancel()
+
+    def _send_ack(self, frame: Frame) -> None:
+        ack = LinkAckMsg(seq=frame.seq)
+        ack.src = frame.dst
+        ack.dst = frame.src
+        self.acks_sent += 1
+        self.net.monitor.on_send(self.net.name, ack)
+        self.net._transmit(
+            frame.dst, frame.src, ack,
+            Frame(src=frame.dst, dst=frame.src, seq=frame.seq, payload=ack))
+
+    # -- reporting --------------------------------------------------------
+
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def describe(self) -> Dict[str, int]:
+        """Transport counters for experiment reports (stable keys)."""
+        return {
+            "retransmissions": self.retransmissions,
+            "acks_sent": self.acks_sent,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "aborted": self.aborted,
+            "pending": len(self._pending),
+        }
+
+
+__all__ = [
+    "DeliveryFailure",
+    "Frame",
+    "LinkAckMsg",
+    "ReliableLink",
+    "RetryPolicy",
+]

@@ -1,9 +1,16 @@
 """The wired (static) network.
 
-Connects MSSs and application servers.  Per the paper's assumption 1 it is
-reliable — no losses — and delivers messages in causal order by default.
-The ordering layer is pluggable (``causal`` / ``fifo`` / ``raw``) so the
-AN6 ablation can weaken the guarantee.
+Connects MSSs and application servers.  Per the paper's assumption 1 it
+is reliable — no losses — and delivers messages in causal order by
+default.  The ordering layer is pluggable (``causal`` / ``fifo`` /
+``raw``) so the AN6 ablation can weaken the guarantee.
+
+Assumption 1 itself is breakable: an optional :class:`FaultPlan`
+injects seeded loss/duplication/delay/partitions per frame, and an
+optional :class:`ReliableLink` transport (built automatically whenever a
+fault plan is present) repairs the damage with per-channel sequence
+numbers and ack/timeout retransmission *below* the ordering layer.  With
+neither configured the send path is the original lossless single hop.
 
 Nodes attach with an object exposing ``node_id`` and
 ``on_wired_message(message)``.
@@ -12,15 +19,17 @@ Nodes attach with an object exposing ``node_id`` and
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol, Set, Union
 
 from ..errors import UnknownNodeError
 from ..sim import Simulator, TraceRecorder
-from ..types import NodeId
+from ..types import NodeId, is_mss
 from .causal import OrderingLayer, StampedMessage, make_ordering
+from .faults import FaultPlan
 from .latency import ConstantLatency, LatencyModel
 from .message import Message
 from .monitor import NetworkMonitor
+from .reliable import DeliveryFailure, Frame, ReliableLink, RetryPolicy
 
 # Optional per-pair propagation delay added on top of the sampled
 # latency: (src, dst) -> seconds.  Lets a world model geography — e.g.
@@ -38,7 +47,7 @@ class WiredNode(Protocol):
 
 
 class WiredNetwork:
-    """Reliable static network with configurable ordering and latency."""
+    """Static network with configurable ordering, latency and faults."""
 
     name = "wired"
 
@@ -51,6 +60,10 @@ class WiredNetwork:
         monitor: Optional[NetworkMonitor] = None,
         ordering: str = "causal",
         pairwise_delay: Optional[PairwiseDelay] = None,
+        faults: Optional[FaultPlan] = None,
+        reliable: Optional[bool] = None,
+        retry: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
     ) -> None:
         self.sim = sim
         self.latency = latency or ConstantLatency(0.010)
@@ -61,6 +74,18 @@ class WiredNetwork:
         self.ordering: OrderingLayer = make_ordering(ordering)
         self._nodes: Dict[NodeId, WiredNode] = {}
         self._deliver_cbs: Dict[NodeId, Callable[[Message], None]] = {}
+        self.faults = faults
+        self._down: Set[NodeId] = set()
+        self.failures: List[DeliveryFailure] = []
+        self.dup_injected = 0
+        # The reliable transport defaults to "on iff faults are on"; an
+        # explicit reliable=False keeps the raw faulty fabric (the AN14
+        # ablation that demonstrates what the transport buys).
+        self.transport: Optional[ReliableLink] = None
+        if reliable if reliable is not None else faults is not None:
+            self.transport = ReliableLink(
+                self, policy=retry if retry is not None else RetryPolicy(),
+                rng=retry_rng if retry_rng is not None else random.Random(1))
 
     def attach(self, node: WiredNode) -> None:
         """Register a static node; replaces any previous registration."""
@@ -82,8 +107,43 @@ class WiredNetwork:
     def knows(self, node_id: NodeId) -> bool:
         return node_id in self._nodes
 
+    def station_ids(self) -> List[NodeId]:
+        """All attached Mobile Support Stations, sorted (page broadcasts)."""
+        return sorted(n for n in self._nodes if is_mss(n))
+
+    # -- crash/recovery ---------------------------------------------------
+
+    def set_down(self, node_id: NodeId) -> None:
+        """Mark a node crashed: frames addressed to it are dropped at
+        arrival (reason ``down``) without acknowledgement, so surviving
+        senders keep retransmitting across the outage.
+
+        The node's own unacked sends are deliberately NOT aborted: the
+        transport models fabric custody (a frame accepted for delivery
+        belongs to the network, not the station's RAM), and the SES
+        ordering layer above cannot tolerate send-side loss — a gapped
+        sequence would park every later message from this node forever.
+        :meth:`ReliableLink.abort_from` exists for permanent
+        decommissioning, where no later traffic will follow.
+        """
+        self._down.add(node_id)
+
+    def set_up(self, node_id: NodeId) -> None:
+        """Bring a crashed node back; delivery resumes on next arrival."""
+        self._down.discard(node_id)
+
+    def is_down(self, node_id: NodeId) -> bool:
+        return node_id in self._down
+
+    # -- send path --------------------------------------------------------
+
     def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
-        """Send *message* from *src* to *dst*; delivery is guaranteed."""
+        """Send *message* from *src* to *dst*.
+
+        Delivery is guaranteed on the default lossless fabric and on a
+        faulty fabric with the reliable transport (up to the retry
+        budget); with faults and ``reliable=False`` it is best-effort.
+        """
         if dst not in self._nodes:
             raise UnknownNodeError(f"wired destination {dst!r} not attached")
         if src not in self._nodes:
@@ -98,13 +158,104 @@ class WiredNetwork:
                 net=self.name, msg=message.kind, msg_id=message.msg_id, dst=dst,
                 detail=message.describe(),
             )
-        delay = self.latency.sample(self.rng)
+        transport = self.transport
+        if transport is None and self.faults is None:
+            # Lossless fast path: statement-for-statement the original
+            # single-hop fabric (the zero-overhead pass-through the
+            # bench determinism gate pins down).
+            delay = self.latency.sample(self.rng)
+            if self.pairwise_delay is not None:
+                delay += self.pairwise_delay(src, dst)
+            self.sim.schedule(delay, self._arrive, dst, stamped,
+                              label=f"wired:{message.kind}")
+            return
+        if transport is not None:
+            transport.send(src, dst, stamped)
+        else:
+            self._transmit(src, dst, message, stamped)
+
+    def _transmit(self, src: NodeId, dst: NodeId, message: Message,
+                  payload: Union[StampedMessage, Frame],
+                  retransmit: bool = False) -> None:
+        """Put one frame on the wire: consult the fault plan, then sample
+        latency and schedule arrival.  *payload* is what ``_arrive``
+        receives — a bare stamped message on the transportless fabric, a
+        :class:`Frame` under the reliable link."""
+        if retransmit and self.recorder.wants("wired_retx"):
+            self.recorder.record(
+                self.sim.now, "wired_retx", src,
+                net=self.name, msg=message.kind, msg_id=message.msg_id, dst=dst)
+        faults = self.faults
+        extra = 0.0
+        if faults is not None:
+            if faults.cut(src, dst, self.sim.now):
+                self._fault_drop(src, dst, message, "partition")
+                return
+            if faults.lost():
+                self._fault_drop(src, dst, message, "loss")
+                return
+            if faults.duplicated():
+                self.dup_injected += 1
+                if self.recorder.wants("wired_dup"):
+                    self.recorder.record(
+                        self.sim.now, "wired_dup", src,
+                        net=self.name, msg=message.kind, msg_id=message.msg_id,
+                        dst=dst)
+                self._schedule_arrival(src, dst, message, payload,
+                                       faults.extra_delay())
+            extra = faults.extra_delay()
+        self._schedule_arrival(src, dst, message, payload, extra)
+
+    def _schedule_arrival(self, src: NodeId, dst: NodeId, message: Message,
+                          payload: Union[StampedMessage, Frame],
+                          extra: float) -> None:
+        delay = self.latency.sample(self.rng) + extra
         if self.pairwise_delay is not None:
             delay += self.pairwise_delay(src, dst)
-        self.sim.schedule(delay, self._arrive, dst, stamped,
+        self.sim.schedule(delay, self._arrive, dst, payload,
                           label=f"wired:{message.kind}")
 
-    def _arrive(self, dst: NodeId, stamped: StampedMessage) -> None:
+    def _fault_drop(self, src: NodeId, dst: NodeId, message: Message,
+                    reason: str) -> None:
+        self.monitor.on_drop(self.name, message, reason)
+        if self.recorder.wants("wired_drop"):
+            self.recorder.record(
+                self.sim.now, "wired_drop", dst,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                src=src, reason=reason)
+
+    def _delivery_failed(self, frame: Frame, attempts: int) -> None:
+        """The reliable link gave up on a frame: count it, trace it, and
+        keep the failure inspectable instead of hanging forever."""
+        message = frame.message
+        self.monitor.on_drop(self.name, message, "delivery_failed")
+        if self.recorder.wants("delivery_failed"):
+            self.recorder.record(
+                self.sim.now, "delivery_failed", frame.src,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                dst=frame.dst, attempts=attempts)
+        self.failures.append(DeliveryFailure(
+            time=self.sim.now, src=frame.src, dst=frame.dst,
+            message=message, attempts=attempts))
+
+    # -- arrival path -----------------------------------------------------
+
+    def _arrive(self, dst: NodeId,
+                payload: Union[StampedMessage, Frame]) -> None:
+        if self._down and dst in self._down:
+            message = payload.message
+            self._fault_drop(message.src or "?", dst, message, "down")
+            return
+        transport = self.transport
+        if transport is not None:
+            assert isinstance(payload, Frame)
+            transport.on_frame(payload)
+            return
+        assert isinstance(payload, StampedMessage)
+        self._ordered_arrival(dst, payload)
+
+    def _ordered_arrival(self, dst: NodeId, stamped: StampedMessage) -> None:
+        """Hand one deduplicated arrival to the ordering layer."""
         deliver = self._deliver_cbs.get(dst)
         if deliver is None:
             def deliver(m: Message, _dst: NodeId = dst) -> None:

@@ -67,7 +67,8 @@ class WirelessChannel:
         monitor: Optional[NetworkMonitor] = None,
         bandwidth_bps: Optional[float] = None,
     ) -> None:
-        if not 0.0 <= loss_probability < 1.0:
+        # 1.0 is legal: a total blackout (every transmission lost).
+        if not 0.0 <= loss_probability <= 1.0:
             raise NetworkError(f"loss probability {loss_probability!r} out of range")
         if bandwidth_bps is not None and bandwidth_bps <= 0:
             raise NetworkError(f"bandwidth {bandwidth_bps!r} must be positive")

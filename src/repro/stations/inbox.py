@@ -85,6 +85,18 @@ class Inbox:
         finally:
             self._start_next()
 
+    def drop_all(self) -> int:
+        """Discard every queued message (an MSS crash losing its inbox).
+
+        The message in service, if any, is not interrupted here — its
+        ``_finish`` event still fires and restarts the serving loop — but
+        a crashed owner discards it at handling time via its own down
+        guard.  Returns the number of messages dropped.
+        """
+        dropped = len(self._queue)
+        self._queue.clear()
+        return dropped
+
     @property
     def depth(self) -> int:
         """Messages waiting (excluding the one in service)."""

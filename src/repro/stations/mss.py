@@ -27,6 +27,7 @@ from ..core.protocol import (
     CreateProxyMsg,
     DelPrefNoticeMsg,
     DeregAckMsg,
+    DelProxyConfirmMsg,
     DeregMsg,
     ForwardedRequestMsg,
     GreetMsg,
@@ -41,6 +42,8 @@ from ..core.protocol import (
     RegisteredMsg,
     ReRegisterMsg,
     RequestMsg,
+    MhLocateMsg,
+    ResultBounceMsg,
     ResultForwardMsg,
     ServerResultMsg,
     SubscriptionEndMsg,
@@ -88,6 +91,11 @@ class MssConfig:
     # first (causal order then suppresses the wired retransmission).
     retain_results: bool = False
     retain_update_fallback: float = 0.2
+    # Proxy-side redelivery: re-forward an unacknowledged result after
+    # this long (exponential backoff).  None keeps the paper's purely
+    # event-driven proxy; fault-injected worlds enable it so a crashed
+    # respMss cannot orphan a result forever (see core/proxy.py).
+    proxy_ack_timeout: Optional[float] = None
     # Proxy migration (future-work extension): when the MH's proxy sits
     # at least this many distance units away, the respMss pulls it over.
     # None disables (the paper's behaviour).  ``station_distance`` is
@@ -171,6 +179,9 @@ class MobileSupportStation:
         self._failed_acquisitions: Dict[tuple, int] = {}
         # One live probe chain per MH at most (see _schedule_handoff_probe).
         self._probes_armed: Set[NodeId] = set()
+        # Crashed flag: while down the station accepts no traffic and
+        # sends nothing (see crash()/restart()).
+        self.down = False
 
         self._inbox = Inbox(
             sim, self._handle,
@@ -195,6 +206,9 @@ class MobileSupportStation:
             UpdateCurrentLocMsg: self._on_proxy_bound,
             ServerResultMsg: self._on_proxy_bound,
             AckForwardMsg: self._on_proxy_bound,
+            DelProxyConfirmMsg: self._on_proxy_bound,
+            ResultBounceMsg: self._on_proxy_bound,
+            MhLocateMsg: self._on_mh_locate,
             ForwardedRequestMsg: self._on_proxy_bound,
             NotificationMsg: self._on_proxy_bound,
             SubscriptionEndMsg: self._on_proxy_bound,
@@ -209,12 +223,23 @@ class MobileSupportStation:
     # -- network entry points -----------------------------------------------
 
     def on_wired_message(self, message: Message) -> None:
+        if self.down:
+            self.instr.metrics.incr("mss_down_drops", node=self.node_id)
+            return
         self._inbox.push(message)
 
     def on_wireless_message(self, message: Message) -> None:
+        if self.down:
+            self.instr.metrics.incr("mss_down_drops", node=self.node_id)
+            return
         self._inbox.push(message)
 
     def _handle(self, message: Message) -> None:
+        if self.down:
+            # An inbox processing slot can still fire for a message that
+            # was in service when the crash hit; it dies with the state.
+            self.instr.metrics.incr("mss_down_drops", node=self.node_id)
+            return
         self.instr.metrics.incr("mss_messages_processed", node=self.node_id)
         handler = self._handlers.get(type(message))
         if handler is None:
@@ -225,6 +250,8 @@ class MobileSupportStation:
     # -- helpers --------------------------------------------------------------
 
     def _wired_send(self, dst: NodeId, message: Message) -> None:
+        if self.down:
+            return  # a timer surviving the crash must not speak for us
         if dst == self.node_id:
             self._local_deliver(message)
         else:
@@ -241,9 +268,17 @@ class MobileSupportStation:
                 self.sim.now, "send", self.node_id,
                 net="local", msg=message.kind, msg_id=message.msg_id,
                 dst=self.node_id, detail=message.describe())
-        self.sim.schedule(0.0, self._inbox.push, message, label="mss:local")
+        self.sim.schedule(0.0, self._local_push, message, label="mss:local")
+
+    def _local_push(self, message: Message) -> None:
+        if self.down:
+            self.instr.metrics.incr("mss_down_drops", node=self.node_id)
+            return
+        self._inbox.push(message)
 
     def _downlink(self, mh: NodeId, message: Message) -> None:
+        if self.down:
+            return
         self.wireless.downlink(self, mh, message)
 
     # -- ProxyHost interface (used by hosted Proxy objects) -------------------
@@ -259,11 +294,32 @@ class MobileSupportStation:
     def remove_proxy(self, proxy_id: ProxyId) -> None:
         self.proxies.pop(proxy_id, None)
 
+    def proxy_page_mh(self, mh: NodeId, reply_to: ProxyRef) -> None:
+        """Broadcast an MH page on behalf of a hosted proxy.
+
+        Crash-healing extension: a repeatedly bounced result means the
+        proxy's ``currentloc`` is stale and the pref that would have
+        corrected it died with a crashed MSS.  Every station (ourselves
+        included — the MH may be right here) is asked; whoever hosts the
+        MH answers with a plain ``update_currentloc``.
+        """
+        self.instr.metrics.incr("mh_pages_sent", node=self.node_id)
+        for station in self.wired.station_ids():
+            self._wired_send(station, MhLocateMsg(mh=mh, proxy_ref=reply_to))
+
+    def _on_mh_locate(self, msg: MhLocateMsg) -> None:
+        if msg.mh not in self.local_mhs:
+            self.instr.metrics.incr("mh_page_misses", node=self.node_id)
+            return
+        self.instr.metrics.incr("mh_page_hits", node=self.node_id)
+        self._send_update_currentloc(msg.mh, msg.proxy_ref)
+
     def _create_proxy(self, mh: NodeId) -> Proxy:
         proxy_id = ProxyId(f"px{next(_proxy_ids)}")
         proxy = Proxy(
             self.sim, self, mh, proxy_id, self.instr,
             send_server_acks=self.config.send_server_acks,
+            ack_timeout=self.config.proxy_ack_timeout,
         )
         self.proxies[proxy_id] = proxy
         return proxy
@@ -768,6 +824,7 @@ class MobileSupportStation:
         proxy = Proxy(
             self.sim, self, msg.mh, msg.new_proxy_id, self.instr,
             send_server_acks=self.config.send_server_acks,
+            ack_timeout=self.config.proxy_ack_timeout,
         )
         proxy.import_state(msg.state)
         self.proxies[msg.new_proxy_id] = proxy
@@ -790,17 +847,27 @@ class MobileSupportStation:
         self.instr.metrics.incr("registration_nacks", node=self.node_id)
         self._downlink(mh, ReRegisterMsg(mh=mh))
 
-    def crash_and_restart(self) -> None:
-        """Testing hook: lose all volatile state, as a crash+reboot would.
+    def crash(self) -> None:
+        """Crash the station: lose all volatile state and go dark.
 
         The paper assumes MSSs "are reliable and do not fail"
-        (assumption 2); this hook exists to explore what the protocol
-        plus the recovery extensions (registration nacks, proxy-gone
-        bounces, client retries) can and cannot absorb when that
-        assumption is broken.
+        (assumption 2); this operation exists to explore what the
+        protocol plus the recovery extensions (registration nacks,
+        proxy-gone bounces, client retries, the reliable wired link) can
+        and cannot absorb when that assumption is broken.
+
+        While down the station drops every wired/wireless arrival and
+        sends nothing; frames addressed to it on a reliable fabric are
+        retransmitted by their senders across the outage.  Idempotent.
         """
+        if self.down:
+            return
+        self.down = True
+        self.wired.set_down(self.node_id)
+        dropped = self._inbox.drop_all()
         self.instr.metrics.incr("mss_crashes", node=self.node_id)
-        self.instr.recorder.record(self.sim.now, "mss_crash", self.node_id)
+        self.instr.recorder.record(self.sim.now, "mss_crash", self.node_id,
+                                   inbox_dropped=dropped)
         self.local_mhs.clear()
         self.prefs = PrefTable()
         self.proxies.clear()
@@ -811,6 +878,26 @@ class MobileSupportStation:
         self._reg_seqs.clear()
         self._retained.clear()
         self._deferred_updates.clear()
+
+    def restart(self) -> None:
+        """Reboot after :meth:`crash` with empty volatile state.
+
+        The station keeps its identity and network attachments (same
+        host, fresh memory).  Unknown MHs that speak to it are nacked
+        into re-registering (:meth:`_maybe_nack_registration`); stale
+        proxy references bounce through the proxy-gone path.
+        """
+        if not self.down:
+            return
+        self.down = False
+        self.wired.set_up(self.node_id)
+        self.instr.metrics.incr("mss_restarts", node=self.node_id)
+        self.instr.recorder.record(self.sim.now, "mss_restart", self.node_id)
+
+    def crash_and_restart(self) -> None:
+        """Instantaneous crash+reboot (state loss with zero downtime)."""
+        self.crash()
+        self.restart()
 
     def _on_proxy_gone(self, msg: ProxyGoneMsg) -> None:
         mh = msg.mh
@@ -845,22 +932,42 @@ class MobileSupportStation:
     def _on_result_forward(self, msg: ResultForwardMsg) -> None:
         mh = msg.mh
         if mh not in self.local_mhs:
-            # Stale forward: the MH moved on; the proxy will re-send when
-            # it learns the new location (Section 3.1).
+            # Stale forward: the MH moved on.  Normally the proxy re-sends
+            # when it learns the new location (Section 3.1), but if the
+            # pref holding our address died in an MSS crash no location
+            # update is ever coming — bounce the forward back so the proxy
+            # retries on its own schedule instead of waiting forever.
             self.instr.metrics.incr("results_for_absent_mh", node=self.node_id)
+            self._wired_send(msg.proxy_ref.mss, ResultBounceMsg(
+                mh=mh, proxy_id=msg.proxy_ref.proxy_id,
+                request_id=msg.request_id))
             return
         pref = self.prefs.ensure(mh)
+        foreign = False
         if pref.ref is None:
             pref.ref = msg.proxy_ref
             self.instr.metrics.incr("prefs_rebuilt", node=self.node_id)
         elif pref.ref != msg.proxy_ref and not pref.creating:
-            # The proxy announced itself from a new address (it migrated);
-            # adopt it so Acks stop detouring through the stub.
-            pref.ref = msg.proxy_ref
-            self.instr.metrics.incr("prefs_refreshed", node=self.node_id)
-        if msg.del_pref and not self.config.persistent_proxies:
-            pref.rkpr = True
-        pref.outstanding.add(msg.request_id)
+            local = (self.proxies.get(pref.ref.proxy_id)
+                     if pref.ref.mss == self.node_id else None)
+            if local is not None and local.requestlist:
+                # A live local proxy owns this pref; a crash-orphaned
+                # predecessor retransmitting from elsewhere must not
+                # steal it, or new requests would land on the zombie.
+                # Still deliver, and remember where this one's Ack goes.
+                foreign = True
+                pref.foreign[msg.request_id] = msg.proxy_ref
+                self.instr.metrics.incr("prefs_refresh_refused",
+                                        node=self.node_id)
+            else:
+                # The proxy announced itself from a new address (it
+                # migrated); adopt it so Acks stop detouring via the stub.
+                pref.ref = msg.proxy_ref
+                self.instr.metrics.incr("prefs_refreshed", node=self.node_id)
+        if not foreign:  # a foreign forward must not touch the owner's books
+            if msg.del_pref and not self.config.persistent_proxies:
+                pref.rkpr = True
+            pref.outstanding.add(msg.request_id)
         self.instr.metrics.incr("results_forwarded_to_mh", node=self.node_id)
         wireless_result = WirelessResultMsg(
             mh=mh, request_id=msg.request_id,
@@ -904,6 +1011,21 @@ class MobileSupportStation:
             pref.ref = msg.proxy_ref
             self.instr.metrics.incr("prefs_rebuilt", node=self.node_id)
         pref.rkpr = True
+        if (self.config.proxy_ack_timeout is not None
+                and not pref.outstanding and not pref.creating):
+            # The special message lost a race against the final Ack
+            # (possible under fault-induced reordering): the removal
+            # condition already holds and no further Ack will piggyback
+            # del-proxy, so confirm removal explicitly.  Gated with the
+            # other crash-healing extensions (proxy_ack_timeout is the
+            # fault switch) — on a reliable fabric the paper's piggyback
+            # protocol closes every race on its own and we keep its
+            # message sequence exactly.
+            ref = pref.ref
+            pref.clear_proxy()
+            self.instr.metrics.incr("del_proxy_confirms", node=self.node_id)
+            self._wired_send(ref.mss, DelProxyConfirmMsg(
+                mh=mh, proxy_id=ref.proxy_id))
 
     def _on_ack(self, msg: AckMsg) -> None:
         mh = msg.mh
@@ -930,6 +1052,19 @@ class MobileSupportStation:
                 # proxy (causal order) sees the Acks first.
                 self.sim.schedule(0.0, self._flush_deferred_update, mh,
                                   label="mss:retain-release")
+        foreign = pref.foreign.pop(msg.request_id, None)
+        if foreign is not None:
+            # Ack for a delivery forwarded by a proxy that does not own
+            # this pref (see _on_result_forward).  Route it straight back
+            # with removal permission: a proxy in that position has no
+            # future here, and its own live-requests guard protects it if
+            # more of its deliveries are still unacknowledged.
+            self.instr.metrics.incr("acks_forwarded", node=self.node_id)
+            self._wired_send(foreign.mss, AckForwardMsg(
+                mh=mh, proxy_id=foreign.proxy_id,
+                request_id=msg.request_id, delivery_id=msg.delivery_id,
+                del_proxy=True))
+            return
         if pref.ref is None:
             self.instr.metrics.incr("acks_without_pref", node=self.node_id)
             return
@@ -972,6 +1107,10 @@ class MobileSupportStation:
             proxy.handle_server_result(msg)
         elif isinstance(msg, AckForwardMsg):
             proxy.handle_ack_forward(msg)
+        elif isinstance(msg, DelProxyConfirmMsg):
+            proxy.handle_del_proxy_confirm(msg)
+        elif isinstance(msg, ResultBounceMsg):
+            proxy.handle_result_bounce(msg)
         elif isinstance(msg, ForwardedRequestMsg):
             proxy.handle_forwarded_request(msg)
         elif isinstance(msg, NotificationMsg):

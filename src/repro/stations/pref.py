@@ -28,6 +28,11 @@ class Pref:
     rkpr: bool = False
     outstanding: Set[RequestId] = field(default_factory=set)
     creating: bool = False  # a remote proxy creation is in flight
+    # Deliveries forwarded by a proxy that is *not* this pref's owner (a
+    # crash-orphaned predecessor retransmitting): the Ack must route back
+    # to the forwarding proxy, but the pref itself must not be stolen —
+    # new requests belong to the owner.  Keyed by request id.
+    foreign: Dict[RequestId, ProxyRef] = field(default_factory=dict)
 
     @property
     def has_proxy(self) -> bool:

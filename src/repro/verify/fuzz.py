@@ -26,7 +26,7 @@ from random import Random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import DirectDeliveryMss, ItcpLikeMss, mobile_ip_config
-from ..config import LatencySpec, WorldConfig
+from ..config import LatencySpec, WiredFaultSpec, WorldConfig
 from ..errors import ConfigError
 from ..net.latency import ExponentialLatency
 from ..types import MhState
@@ -40,6 +40,16 @@ REPRO_VERSION = 1
 PROTOCOLS = ("rdp", "mobile_ip", "itcp", "direct")
 
 _OPS = ("migrate", "deactivate", "activate", "request", "burst", "resend")
+
+# Extra ops available under the fault profile: MSS crash/restart cycles,
+# timed wired partitions and mid-run loss-rate changes.
+_FAULT_OPS = _OPS + ("crash", "partition", "wired_loss")
+
+# How long a fuzzed crash keeps its station down / a fuzzed partition
+# keeps its link cut.  Short enough for the retry/backoff machinery to
+# bridge within the drain budget, long enough to actually hurt.
+_CRASH_DOWNTIME = 2.0
+_PARTITION_LENGTH = 3.0
 
 
 @dataclass(frozen=True)
@@ -63,6 +73,10 @@ class FuzzProfile:
     ack_delay: float = 0.0
     proc_delay: float = 0.0
     wired_jitter: float = 0.0
+    # Wired fault rates (nonzero only under the fault profile; the
+    # defaults keep old repro files loading unchanged).
+    wired_loss: float = 0.0
+    wired_dup: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -80,6 +94,10 @@ class FuzzConfig:
     # Wired delivery ordering; "raw" is the an6-style ablation that the
     # causal checker exists to catch.
     ordering: str = "causal"
+    # Fault profile: draw wired loss/duplication rates per case, build
+    # the world with a FaultPlan + ReliableLink, and add the
+    # crash/partition/wired_loss ops to the schedule pool.
+    fault_profile: bool = False
 
 
 @dataclass(frozen=True)
@@ -123,14 +141,24 @@ def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
         proc_delay=rng.choice((0.0, 0.0, 0.001, 0.01)),
         wired_jitter=rng.choice((0.0, 0.002, 0.008)),
     )
+    # Fault-profile draws come strictly after the base draws so default
+    # generation stays byte-identical to the pinned corpus.
+    if config.fault_profile:
+        profile = replace(
+            profile,
+            wired_loss=round(rng.uniform(0.05, 0.30), 3),
+            wired_dup=rng.choice((0.0, 0.05, 0.1)),
+        )
+    pool, weights = ((_FAULT_OPS, (30, 15, 15, 30, 5, 5, 4, 4, 3))
+                     if config.fault_profile else
+                     (_OPS, (30, 15, 15, 30, 5, 5)))
     ops: List[FuzzOp] = []
     latest = max(2.0, config.duration - 8.0)
     for h in range(config.n_hosts):
         host = f"mh{h}"
         for _ in range(config.ops_per_host):
             t = round(rng.uniform(1.0, latest), 3)
-            kind = rng.choices(
-                _OPS, weights=(30, 15, 15, 30, 5, 5))[0]
+            kind = rng.choices(pool, weights=weights)[0]
             arg: Optional[int] = None
             if kind == "migrate":
                 arg = rng.randrange(config.n_cells)
@@ -138,6 +166,10 @@ def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
                 arg = rng.randrange(1_000)
             elif kind == "resend":
                 arg = rng.randrange(16)
+            elif kind in ("crash", "partition"):
+                arg = rng.randrange(config.n_cells)
+            elif kind == "wired_loss":
+                arg = rng.randrange(40)
             ops.append(FuzzOp(time=t, op=kind, host=host, arg=arg))
     ops.sort(key=lambda o: (o.time, o.host, o.op, -1 if o.arg is None else o.arg))
     return FuzzCase(seed=seed, profile=profile, config=config, ops=tuple(ops))
@@ -151,6 +183,13 @@ def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
         raise ConfigError(f"unknown fuzz protocol {protocol!r}")
     profile = case.profile
     jitter = profile.wired_jitter
+    # Build the fault plan whenever the fault profile is in play, even
+    # with zero rates, so partition/wired_loss ops have a plan to drive.
+    faults = None
+    if (case.config.fault_profile or profile.wired_loss
+            or profile.wired_dup):
+        faults = WiredFaultSpec(loss=profile.wired_loss,
+                                duplication=profile.wired_dup)
     config = WorldConfig(
         seed=case.seed,
         n_cells=case.config.n_cells,
@@ -159,6 +198,7 @@ def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
                        if jitter else LatencySpec(mean=0.010)),
         wireless_latency=LatencySpec(mean=0.005),
         wireless_loss=profile.wireless_loss,
+        wired_faults=faults,
         ack_delay=profile.ack_delay,
         proc_delay=profile.proc_delay,
         ordering=case.config.ordering,
@@ -211,12 +251,42 @@ def _execute(world: World, op: FuzzOp) -> None:
                 pending = outstanding[(op.arg or 0) % len(outstanding)]
                 host.resend_request(pending.request_id, pending.service,
                                     pending.payload)
+    elif op.op == "crash":
+        station = world.stations[world.cells[(op.arg or 0) % len(world.cells)]]
+        if not station.down:
+            station.crash()
+            world.sim.schedule(_CRASH_DOWNTIME, station.restart,
+                               label="fuzz:restart")
+    elif op.op == "partition":
+        plan = world.wired.faults
+        if plan is not None:
+            cells = world.cells
+            a = world.stations[cells[(op.arg or 0) % len(cells)]]
+            b = world.stations[cells[((op.arg or 0) + 1) % len(cells)]]
+            plan.partition(a.node_id, b.node_id, world.sim.now,
+                           world.sim.now + _PARTITION_LENGTH)
+    elif op.op == "wired_loss":
+        plan = world.wired.faults
+        if plan is not None:
+            plan.set_loss(((op.arg or 0) % 35) / 100.0)
     else:  # pragma: no cover - generate_case only emits known ops
         raise ConfigError(f"unknown fuzz op {op.op!r}")
 
 
 def _outstanding(world: World) -> int:
     return sum(len(c.outstanding) for c in world.clients.values())
+
+
+def _live_proxies(world: World) -> int:
+    """Proxies still installed at any station.
+
+    Client-level completion is not quiescence: a proxy whose final
+    wireless ack was lost keeps redelivering on its ack timeout until
+    the MH's duplicate-suppressing re-ack lands, and only then can the
+    del-proxy handshake retire it.  The drain must wait for that tail
+    or the oracle reads a healing proxy as leaked.
+    """
+    return sum(len(station.proxies) for station in world.stations.values())
 
 
 def _drain(world: World, rounds: int, window: float) -> None:
@@ -230,9 +300,9 @@ def _drain(world: World, rounds: int, window: float) -> None:
             host.activate()
     world.sim.run(until=world.sim.now + window)
     stale = 0
-    previous = _outstanding(world)
+    previous = (_outstanding(world), _live_proxies(world))
     for _ in range(rounds):
-        if previous == 0:
+        if previous == (0, 0):
             break
         for host in world.hosts.values():
             if host.state is MhState.ACTIVE:
@@ -242,9 +312,9 @@ def _drain(world: World, rounds: int, window: float) -> None:
             if host.state is MhState.INACTIVE:
                 host.activate()
         world.sim.run(until=world.sim.now + window)
-        now_outstanding = _outstanding(world)
-        stale = stale + 1 if now_outstanding == previous else 0
-        previous = now_outstanding
+        progress = (_outstanding(world), _live_proxies(world))
+        stale = stale + 1 if progress == previous else 0
+        previous = progress
         if stale >= 3:
             break
     for client in world.clients.values():

@@ -39,6 +39,7 @@ from .net.latency import (
     NormalLatency,
     UniformLatency,
 )
+from .net.faults import FaultPlan
 from .net.wired import WiredNetwork
 from .net.wireless import WirelessChannel
 from .servers.base import AppServer
@@ -88,6 +89,19 @@ class World:
         self.cell_map = _build_cellmap(self.config)
 
         self._node_positions: Dict[NodeId, tuple] = {}
+        faults: Optional[FaultPlan] = None
+        if self.config.wired_faults is not None:
+            spec = self.config.wired_faults
+            faults = FaultPlan(
+                rng=self.rng.stream("faults.wired"),
+                loss=spec.loss,
+                duplication=spec.duplication,
+                spike_probability=spec.spike_probability,
+                spike=spec.spike,
+                partitions=tuple(
+                    (NodeId(a), NodeId(b), t0, t1)
+                    for a, b, t0, t1 in spec.partitions),
+            )
         self.wired = WiredNetwork(
             self.sim,
             latency=build_latency(self.config.wired_latency),
@@ -97,6 +111,10 @@ class World:
             ordering=self.config.ordering,
             pairwise_delay=(self._distance_delay
                             if self.config.wired_distance_delay else None),
+            faults=faults,
+            reliable=self.config.wired_reliable,
+            retry=self.config.wired_retry,
+            retry_rng=self.rng.stream("reliable.wired"),
         )
         self.wireless = WirelessChannel(
             self.sim,
@@ -123,6 +141,10 @@ class World:
             persistent_proxies=self.config.persistent_proxies,
             placement=placement,
             retain_results=self.config.retain_results,
+            proxy_ack_timeout=(
+                self.config.proxy_ack_timeout
+                if self.config.proxy_ack_timeout is not None
+                else (5.0 if self.config.wired_faults is not None else None)),
             proxy_migrate_distance=self.config.proxy_migrate_distance,
             station_distance=(self._station_distance
                               if self.config.proxy_migrate_distance else None),
@@ -184,6 +206,35 @@ class World:
 
     def station_ids(self) -> List[NodeId]:
         return [self.stations[cell].node_id for cell in self.cells]
+
+    def find_station(self, name: Any) -> MobileSupportStation:
+        """Look a station up by cell id, station name (``s0``) or wired
+        node id (``mss:s0``)."""
+        station = self.stations.get(name)
+        if station is not None:
+            return station
+        for station in self.stations.values():
+            if station.name == name or station.node_id == name:
+                return station
+        raise ConfigError(f"unknown station {name!r}")
+
+    # -- failure injection ----------------------------------------------------------
+
+    def crash_mss(self, name: Any) -> MobileSupportStation:
+        """Crash a station (by cell, name or node id): it loses all
+        volatile state — inbox, proxies, prefs, registrations — and goes
+        dark on both networks until :meth:`restart_mss`.  Idempotent."""
+        station = self.find_station(name)
+        station.crash()
+        return station
+
+    def restart_mss(self, name: Any) -> MobileSupportStation:
+        """Restart a crashed station with empty state.  Orphaned hosts
+        re-register through the registration-nack path and dangling prefs
+        recover through proxy-gone bounces (see docs/FAULTS.md)."""
+        station = self.find_station(name)
+        station.restart()
+        return station
 
     def add_server(self, name: str, server_class: Type[AppServer] = AppServer,
                    **kwargs: Any) -> AppServer:

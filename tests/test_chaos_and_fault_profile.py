@@ -1,0 +1,129 @@
+"""Chaos scenarios and the fuzzer's fault profile.
+
+Two standing guarantees ride on these tests:
+
+* **The transport is what makes RDP survive a faulty fabric** — the
+  pinned chaos scenario runs clean with the reliable link and visibly
+  breaks without it (both directions asserted, so neither the faults nor
+  the recovery can silently rot).
+* **The fault-profile fuzzer still has teeth** — a deliberately broken
+  retransmit timer is caught and shrunk (mutation test).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import chaos
+from repro.experiments.cli import main
+from repro.net.reliable import ReliableLink
+from repro.verify.fuzz import (
+    FuzzConfig,
+    generate_case,
+    load_case,
+    run_campaign,
+    run_case,
+)
+
+SMOKE = chaos.PRESETS["smoke"]
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return chaos.run_chaos(SMOKE, reliable=True)
+
+
+def test_chaos_smoke_clean_with_reliable_transport(smoke_result):
+    det = smoke_result["determinism"]
+    assert det["violations"] == 0
+    assert det["requests"] > 0
+    assert det["delivered"] == det["requests"]
+    # The scenario genuinely exercised every fault flavour.
+    wired = det["wired"]
+    assert wired["drops_loss"] > 0
+    assert wired["drops_partition"] > 0
+    assert wired["dup_injected"] > 0
+    assert wired["transport"]["retransmissions"] > 0
+    assert det["crashes"] == 1 and det["restarts"] == 1
+
+
+def test_chaos_smoke_deterministic(smoke_result):
+    again = chaos.run_chaos(SMOKE, reliable=True)
+    a, b = dict(smoke_result), dict(again)
+    a.pop("timing"), b.pop("timing")
+    assert a == b
+
+
+def test_chaos_smoke_breaks_without_transport():
+    """The ablation direction: same faults, raw fabric -> the oracle
+    must catch real protocol violations (otherwise the fault injection
+    is not actually testing anything)."""
+    result = chaos.run_chaos(SMOKE, reliable=False)
+    det = result["determinism"]
+    assert det["violations"] > 0
+    assert det["delivered"] < det["requests"]
+    assert det["wired"]["transport"] is None
+
+
+def test_chaos_cli_writes_report(tmp_path, capsys):
+    out = tmp_path / "CHAOS_report.json"
+    rc = main(["chaos", "--preset", "smoke", "--out", str(out), "--quiet"])
+    assert rc == 0
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == 1
+    assert doc["scenario"]["preset"] == "smoke"
+    assert doc["determinism"]["violations"] == 0
+
+
+# -- fuzzer fault profile ----------------------------------------------------
+
+def test_fault_profile_extends_op_pool():
+    plain = generate_case(11, FuzzConfig())
+    faulty = generate_case(11, FuzzConfig(fault_profile=True))
+    assert not any(op.op in ("crash", "partition", "wired_loss")
+                   for op in plain.ops)
+    assert plain.profile.wired_loss == 0.0 and plain.profile.wired_dup == 0.0
+    assert faulty.profile.wired_loss > 0.0
+    ops = {op.op for seed in range(20)
+           for op in generate_case(seed, FuzzConfig(fault_profile=True)).ops}
+    assert {"crash", "partition", "wired_loss"} <= ops
+
+
+def test_fault_profile_mini_campaign_clean():
+    campaign = run_campaign(seeds=25, base_seed=0,
+                            config=FuzzConfig(fault_profile=True),
+                            shrink=False)
+    assert campaign.ok, [f.invariants for f in campaign.failures]
+    assert campaign.requests_delivered == campaign.requests_issued > 0
+
+
+def test_mutation_broken_retransmit_timer_caught_and_shrunk(
+        tmp_path, monkeypatch):
+    """Disable the transport's retransmit path: under wired loss the
+    causally-ordered fabric wedges and the oracle must notice.  The
+    failure is shrunk and the saved repro replays."""
+    monkeypatch.setattr(ReliableLink, "_expire",
+                        lambda self, pending: None)
+    campaign = run_campaign(seeds=8, base_seed=0,
+                            config=FuzzConfig(fault_profile=True),
+                            shrink=True, out_dir=tmp_path)
+    assert not campaign.ok
+    failure = campaign.failures[0]
+    assert failure.invariants  # named, not just "something broke"
+    assert failure.repro_path is not None and failure.repro_path.exists()
+    original = generate_case(failure.seed, FuzzConfig(fault_profile=True))
+    assert len(failure.shrunk.ops) <= len(original.ops)
+    case, protocol = load_case(failure.repro_path)
+    replay = run_case(case, protocol)
+    assert replay.invariants_hit() == failure.invariants
+
+
+def test_mutation_healthy_code_passes_saved_shape():
+    """Control arm for the mutation test: the same seeds are clean when
+    the retransmit timer works."""
+    campaign = run_campaign(seeds=8, base_seed=0,
+                            config=FuzzConfig(fault_profile=True),
+                            shrink=False)
+    assert campaign.ok

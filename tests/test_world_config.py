@@ -30,12 +30,18 @@ def test_config_defaults_valid():
     ("ordering", "total"),
     ("placement", "random"),
     ("n_cells", 0),
-    ("wireless_loss", 1.0),
+    ("wireless_loss", 1.01),
+    ("wireless_loss", -0.1),
     ("proc_delay", -1.0),
 ])
 def test_config_rejects_bad_values(field, value):
     with pytest.raises(ConfigError):
         WorldConfig(**{field: value})
+
+
+def test_config_accepts_total_wireless_blackout():
+    # loss == 1.0 is a legal scenario (nothing gets through the radio).
+    assert WorldConfig(wireless_loss=1.0).wireless_loss == 1.0
 
 
 def test_latency_spec_validation():
