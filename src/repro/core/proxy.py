@@ -77,6 +77,10 @@ class RequestRecord:
     result_received: bool = False
     delivery_id: int = 0
     forward_count: int = 0
+    # When the first ResultForward left the proxy; the redelivery-latency
+    # histogram measures first-forward -> Ack for requests that needed
+    # more than one attempt (ack-timeout or bounce-retry redelivery).
+    first_forward_at: Optional[float] = None
     is_subscription: bool = False
     is_notification: bool = False
 
@@ -284,6 +288,14 @@ class Proxy:
             self.instr.metrics.incr("proxy_requests_completed", node=self.host.node_id)
             self.instr.metrics.observe(
                 "request_completion_time", self.sim.now - record.issued_at)
+            if record.forward_count > 1 and record.first_forward_at is not None:
+                # This request needed redelivery (ack timeout, bounce
+                # retry or location-update retransmission): record how
+                # long the recovery took and how many attempts it cost.
+                self.instr.metrics.observe(
+                    "redelivery_latency", self.sim.now - record.first_forward_at)
+                self.instr.metrics.observe(
+                    "redelivery_attempts", float(record.forward_count))
             if (self.send_server_acks and record.server is not None
                     and not record.is_notification):
                 self.host.proxy_wired_send(record.server, ServerAckMsg(
@@ -314,6 +326,8 @@ class Proxy:
     def _forward_result(self, record: RequestRecord, retransmission: bool) -> None:
         del_pref = self._is_last_pending(record.request_id)
         record.forward_count += 1
+        if record.first_forward_at is None:
+            record.first_forward_at = self.sim.now
         if retransmission:
             self.retransmissions += 1
             self.instr.metrics.incr("proxy_retransmissions", node=self.host.node_id)

@@ -26,11 +26,13 @@ import json
 import pathlib
 import resource
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..config import LatencySpec, WorldConfig
+from ..instruments import Instruments
 from ..mobility.models import ExponentialResidence, RandomNeighborWalk
 from ..net.latency import ExponentialLatency
+from ..obs.export import digest
 from ..servers.tis_network import TisNetwork
 from ..sidam.city import CityModel
 from ..sidam.workload import CitizenWorkload
@@ -62,9 +64,9 @@ PRESETS: Dict[str, BenchPreset] = {
 }
 
 
-def run_bench(preset: BenchPreset) -> Dict[str, Any]:
-    """Run one benchmark scenario; return the result document."""
-    config = WorldConfig(
+def build_config(preset: BenchPreset, trace: bool = False) -> WorldConfig:
+    """The pinned world configuration of one bench scenario."""
+    return WorldConfig(
         seed=preset.seed,
         topology="grid",
         grid_width=preset.grid,
@@ -72,10 +74,22 @@ def run_bench(preset: BenchPreset) -> Dict[str, Any]:
         wired_latency=LatencySpec(kind="exponential", mean=0.012),
         wireless_latency=LatencySpec(kind="constant", mean=0.005),
         wireless_loss=0.01,
-        trace=False,
+        trace=trace,
     )
-    started = wall_clock()
-    world = World(config)
+
+
+def run_scenario(
+    preset: BenchPreset,
+    config: WorldConfig,
+    instruments: Optional[Instruments] = None,
+) -> Tuple[World, List[CitizenWorkload]]:
+    """Build the sidam-city world, run it to quiescence, return it.
+
+    Shared by the bench (counters only) and the observe run (same
+    scenario with a span-filtered trace recorder passed in through
+    *instruments*) so both measure the identical workload.
+    """
+    world = World(config, instruments=instruments)
     city = CityModel(world.cell_map, n_servers=preset.n_servers)
     TisNetwork(world.sim, world.wired, world.directory,
                partitions=city.partitions,
@@ -101,6 +115,20 @@ def run_bench(preset: BenchPreset) -> Dict[str, Any]:
     for workload in workloads:
         workload.stop()
     drain(world)
+    return world, workloads
+
+
+def run_bench(preset: BenchPreset, obs: bool = False) -> Dict[str, Any]:
+    """Run one benchmark scenario; return the result document.
+
+    With ``obs=True`` the document gains a ``metrics`` section — the
+    observability hub's deterministic digest (every counter/gauge/
+    histogram family the instrumented stack filled during the run).  The
+    default document is unchanged byte for byte, which is what lets the
+    CI determinism gate keep pinning it.
+    """
+    started = wall_clock()
+    world, workloads = run_scenario(preset, build_config(preset))
     wall = wall_clock() - started
 
     events = world.sim.events_executed
@@ -109,7 +137,7 @@ def run_bench(preset: BenchPreset) -> Dict[str, Any]:
     answered = sum(sum(1 for r in w.stats.requests if r.done)
                    for w in workloads)
     metrics = world.instruments.metrics
-    return {
+    result: Dict[str, Any] = {
         "schema": 1,
         "scenario": {
             "preset": preset.name,
@@ -138,6 +166,9 @@ def run_bench(preset: BenchPreset) -> Dict[str, Any]:
             "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
         },
     }
+    if obs:
+        result["metrics"] = digest(world.instruments.hub)
+    return result
 
 
 def render(result: Dict[str, Any]) -> str:

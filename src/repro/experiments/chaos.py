@@ -160,6 +160,8 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
     transport = world.wired.transport
     metrics = world.instruments.metrics
     violations = sorted({v.invariant for v in oracle.violations})
+    redelivery_latency = metrics.samples("redelivery_latency")
+    redelivery_attempts = metrics.samples("redelivery_attempts")
     return {
         "schema": 1,
         "scenario": {
@@ -192,6 +194,23 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
                 "dup_injected": world.wired.dup_injected,
                 "delivery_failures": len(world.wired.failures),
                 "transport": transport.describe() if transport else None,
+            },
+            # Requests that needed proxy-side redelivery (ack timeout,
+            # result bounce, or location-update retransmission) before
+            # their Ack landed — sim-domain, so byte-stable run over run.
+            "redelivery": {
+                "redelivered": len(redelivery_latency),
+                "ack_timeouts": metrics.count("proxy_ack_timeouts"),
+                "bounce_retries": metrics.count("proxy_bounce_retries"),
+                "proxy_retransmissions":
+                    metrics.count("proxy_retransmissions"),
+                "attempts_max": (int(max(redelivery_attempts))
+                                 if redelivery_attempts else 0),
+                "latency_mean": (round(sum(redelivery_latency)
+                                       / len(redelivery_latency), 6)
+                                 if redelivery_latency else None),
+                "latency_max": (round(max(redelivery_latency), 6)
+                                if redelivery_latency else None),
             },
             "final_time": round(world.sim.now, 6),
         },
@@ -247,6 +266,10 @@ def render(result: Dict[str, Any]) -> str:
         f"({transport.get('acks_sent', 0):,} acks, "
         f"{transport.get('duplicates_suppressed', 0):,} dups suppressed, "
         f"{wired['delivery_failures']:,} gave up)",
+        f"  redelivery  {det['redelivery']['redelivered']:>8,}   "
+        f"({det['redelivery']['ack_timeouts']:,} ack timeouts, "
+        f"{det['redelivery']['bounce_retries']:,} bounce retries, "
+        f"max {det['redelivery']['attempts_max']} attempts)",
         f"  crashes     {det['crashes']:>8,}   "
         f"({det['nacks']:,} registration nacks)",
         f"  wall        {result['timing']['wall_seconds']:>8.3f}s",

@@ -37,6 +37,7 @@ from ..errors import ConfigError
 from ..verify import fuzz as fuzz_mod
 from . import bench as bench_mod
 from . import chaos as chaos_mod
+from . import observe as observe_mod
 from ._timing import wall_clock
 
 
@@ -163,6 +164,24 @@ def build_parser() -> argparse.ArgumentParser:
                             "repo root)")
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the human-readable summary")
+    bench.add_argument("--obs", action="store_true",
+                       help="add the observability hub's deterministic "
+                            "metrics digest to the result JSON")
+    observe = sub.add_parser(
+        "observe", help="run a bench scenario with delivery-span "
+                        "reconstruction and metrics export on "
+                        "(see docs/OBSERVABILITY.md)")
+    observe.add_argument("--preset", choices=sorted(bench_mod.PRESETS),
+                         default="smoke",
+                         help="bench scenario size (default smoke)")
+    observe.add_argument("--export", choices=("prom", "json"), default=None,
+                         help="additionally export the metrics hub as "
+                              "Prometheus text or canonical JSON")
+    observe.add_argument("--out", type=pathlib.Path, default=None,
+                         help="export file (default: OBS_metrics.prom / "
+                              "OBS_metrics.json in the working directory)")
+    observe.add_argument("--quiet", action="store_true",
+                         help="suppress the human-readable report")
     chaos = sub.add_parser(
         "chaos", help="run the pinned fault-injection soak with the "
                       "invariant oracle attached (see docs/FAULTS.md)")
@@ -260,13 +279,35 @@ def run_fuzz(args: argparse.Namespace) -> int:
 def run_bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: pinned macro scenario -> JSON + summary."""
     preset = bench_mod.PRESETS[args.preset]
-    result = bench_mod.run_bench(preset)
+    result = bench_mod.run_bench(preset, obs=args.obs)
     out = args.out if args.out is not None else bench_mod.default_out_path()
     bench_mod.write_result(result, out)
     if not args.quiet:
         print(bench_mod.render(result))
     print(f"wrote {out}")
     return 0
+
+
+def run_observe(args: argparse.Namespace) -> int:
+    """The ``observe`` subcommand: spans + metrics on one bench scenario."""
+    from ..obs.export import json_text, prometheus_text
+
+    preset = bench_mod.PRESETS[args.preset]
+    result = observe_mod.run_observe(preset)
+    if not args.quiet:
+        print(observe_mod.render(result))
+    if args.export is not None:
+        if args.export == "prom":
+            out = args.out or pathlib.Path("OBS_metrics.prom")
+            out.write_text(prometheus_text(result.hub))
+        else:
+            out = args.out or pathlib.Path("OBS_metrics.json")
+            out.write_text(json_text(result.hub,
+                                     sim_time=result.world.sim.now))
+        print(f"wrote {out}")
+    # Exit nonzero when span reconstruction failed to account for every
+    # issued request — the subsystem's own acceptance gate.
+    return 0 if result.accounted() else 1
 
 
 def run_chaos(args: argparse.Namespace) -> int:
@@ -338,6 +379,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_fuzz(args)
     if args.command == "bench":
         return run_bench(args)
+    if args.command == "observe":
+        return run_observe(args)
     if args.command == "chaos":
         return run_chaos(args)
     if args.command == "analyze":

@@ -93,6 +93,14 @@ class MobileHost:
         self.registration_listeners: List[Callable[[], None]] = []
         self.deliveries: List[Tuple[float, RequestId, Any]] = []
         self.duplicate_deliveries = 0
+        # Pre-bound observability handles: system-wide delivery outcomes
+        # (one shared family; resolved once per host, bumped per result).
+        outcomes = self.instr.hub.counter(
+            "rdp_mh_delivery_outcomes_total",
+            "Results arriving at mobile hosts, by dedup outcome",
+            labels=("outcome",))
+        self._obs_fresh_delivery = outcomes.labels("fresh")
+        self._obs_duplicate_delivery = outcomes.labels("duplicate")
 
         wireless.register_host(self)
 
@@ -295,8 +303,10 @@ class MobileHost:
                      or message.request_id in self._delivered_requests)
         if duplicate:
             self.duplicate_deliveries += 1
+            self._obs_duplicate_delivery.inc()
             self.instr.metrics.incr("mh_duplicate_results", node=self.node_id)
         else:
+            self._obs_fresh_delivery.inc()
             self._seen_deliveries.add(message.delivery_id)
             self._delivered_requests.add(message.request_id)
             self.deliveries.append((self.sim.now, message.request_id, message.payload))

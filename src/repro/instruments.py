@@ -1,30 +1,49 @@
 """The instrumentation bundle shared by every entity in a world.
 
-Groups the three observability channels so constructors take one argument:
+Groups the observability channels so constructors take one argument:
 
 * :class:`~repro.sim.tracing.TraceRecorder` — structured event trace
-  (sequence charts, invariant verification);
-* :class:`~repro.net.monitor.NetworkMonitor` — message/byte counters;
-* :class:`~repro.analysis.metrics.MetricsRegistry` — protocol counters and
-  latency series.
+  (sequence charts, invariant verification, delivery spans);
+* :class:`~repro.obs.registry.MetricsHub` — the typed metric registry
+  all counters live in (exported by :mod:`repro.obs.export`);
+* :class:`~repro.net.monitor.NetworkMonitor` — message/byte counters
+  (compatibility facade over the hub);
+* :class:`~repro.analysis.metrics.MetricsRegistry` — protocol counters
+  and latency series (compatibility facade over the hub).
+
+The monitor and metrics facades register their families in the bundle's
+hub, so one Prometheus/JSON export covers network and protocol
+accounting alike.  :meth:`Instruments.disabled` turns off the per-event
+trace only — counters stay on, because sweeps and benches read them
+even when no trace rows are kept.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
 from .analysis.metrics import MetricsRegistry
 from .net.monitor import NetworkMonitor
+from .obs.registry import MetricsHub
 from .sim.tracing import TraceRecorder
 
 
-@dataclass
 class Instruments:
     """One bundle per simulated world."""
 
-    recorder: TraceRecorder = field(default_factory=TraceRecorder)
-    monitor: NetworkMonitor = field(default_factory=NetworkMonitor)
-    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    def __init__(
+        self,
+        recorder: Optional[TraceRecorder] = None,
+        monitor: Optional[NetworkMonitor] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        hub: Optional[MetricsHub] = None,
+    ) -> None:
+        self.hub = hub if hub is not None else MetricsHub()
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.monitor = (monitor if monitor is not None
+                        else NetworkMonitor(hub=self.hub))
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry(hub=self.hub))
 
     @classmethod
     def disabled(cls) -> "Instruments":

@@ -3,92 +3,153 @@
 The monitor is shared by the wired and wireless substrates.  Experiments
 read it to account protocol overhead (AN4: ``update_currentloc`` and extra
 Ack messages) and per-node load (AN5: messages handled per MSS).
+
+Since the observability subsystem landed this class is a thin
+compatibility facade over :class:`repro.obs.registry.MetricsHub`: every
+count lives in a typed, labeled metric family, so the same numbers the
+legacy accessors return also appear in Prometheus/JSON exports without
+double bookkeeping.  The method surface is unchanged; call sites and
+tests written against the original Counter-based monitor keep working.
+
+Families owned by the facade (labels in parentheses):
+
+* ``rdp_net_messages_sent_total`` (net, kind)
+* ``rdp_net_bytes_sent_total`` (net, kind)
+* ``rdp_net_messages_received_total`` (net, kind) — delivery-side parity
+  with the sent counters (historically ``on_deliver`` only counted per
+  node, so received traffic could not be filtered by network or kind)
+* ``rdp_net_messages_dropped_total`` (net, kind, reason)
+* ``rdp_node_messages_sent_total`` / ``rdp_node_messages_received_total``
+  (node) — the per-node load proxies
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional
 
+from ..obs.registry import CounterFamily, MetricsHub
 from ..types import NodeId
 from .message import Message
 
 
-@dataclass
 class NetworkMonitor:
-    """Counters keyed by network name, message kind and node."""
+    """Counters keyed by network name, message kind and node.
 
-    sent_msgs: Counter = field(default_factory=Counter)
-    sent_bytes: Counter = field(default_factory=Counter)
-    dropped_msgs: Counter = field(default_factory=Counter)
-    node_sent: Counter = field(default_factory=Counter)
-    node_received: Counter = field(default_factory=Counter)
+    Pass a shared *hub* to co-register with the rest of a world's
+    metrics (what :class:`repro.instruments.Instruments` does); without
+    one the monitor owns a private hub and behaves exactly like the old
+    standalone counter bag.
+    """
+
+    def __init__(self, hub: Optional[MetricsHub] = None) -> None:
+        self.hub = hub if hub is not None else MetricsHub()
+        self._sent = self.hub.counter(
+            "rdp_net_messages_sent_total",
+            "Messages sent, by network and message kind",
+            labels=("net", "kind"))
+        self._sent_bytes = self.hub.counter(
+            "rdp_net_bytes_sent_total",
+            "Modelled payload bytes sent, by network and message kind",
+            labels=("net", "kind"))
+        self._received = self.hub.counter(
+            "rdp_net_messages_received_total",
+            "Messages delivered, by network and message kind",
+            labels=("net", "kind"))
+        self._dropped = self.hub.counter(
+            "rdp_net_messages_dropped_total",
+            "Messages dropped, by network, message kind and reason",
+            labels=("net", "kind", "reason"))
+        self._node_sent = self.hub.counter(
+            "rdp_node_messages_sent_total",
+            "Messages sent per node (load proxy)",
+            labels=("node",))
+        self._node_received = self.hub.counter(
+            "rdp_node_messages_received_total",
+            "Messages received per node (load proxy)",
+            labels=("node",))
+
+    # -- write path (networks) --------------------------------------------
 
     def on_send(self, network: str, message: Message) -> None:
-        key = (network, message.kind)
-        self.sent_msgs[key] += 1
-        self.sent_bytes[key] += message.size_bytes()
+        self._sent.labels(network, message.kind).inc()
+        self._sent_bytes.labels(network, message.kind).inc(
+            message.size_bytes())
         if message.src is not None:
-            self.node_sent[message.src] += 1
+            self._node_sent.labels(message.src).inc()
 
     def on_deliver(self, network: str, message: Message) -> None:
+        self._received.labels(network, message.kind).inc()
         if message.dst is not None:
-            self.node_received[message.dst] += 1
+            self._node_received.labels(message.dst).inc()
 
     def on_drop(self, network: str, message: Message, reason: str) -> None:
-        self.dropped_msgs[(network, message.kind, reason)] += 1
+        self._dropped.labels(network, message.kind, reason).inc()
+
+    # -- read path (experiments, reports) ---------------------------------
+
+    @staticmethod
+    def _sum(family: CounterFamily, *pattern: Optional[str]) -> int:
+        """Sum children whose labels match *pattern* (None = wildcard)."""
+        total = 0
+        for values, child in family.children.items():
+            if all(want is None or have == want
+                   for have, want in zip(values, pattern)):
+                total += child.value  # type: ignore[attr-defined]
+        return int(total)
 
     def count(self, kind: str, network: str | None = None) -> int:
         """Messages of *kind* sent on *network* (or on any network)."""
-        return sum(
-            value
-            for (net, k), value in self.sent_msgs.items()
-            if k == kind and (network is None or net == network)
-        )
+        return self._sum(self._sent, network, kind)
 
     def bytes_of(self, kind: str, network: str | None = None) -> int:
         """Bytes of *kind* sent on *network* (or on any network)."""
-        return sum(
-            value
-            for (net, k), value in self.sent_bytes.items()
-            if k == kind and (network is None or net == network)
-        )
+        return self._sum(self._sent_bytes, network, kind)
+
+    def received(self, kind: str | None = None,
+                 network: str | None = None) -> int:
+        """Messages delivered, filtered by kind and/or network."""
+        return self._sum(self._received, network, kind)
+
+    def received_histogram(self, network: str | None = None) -> Dict[str, int]:
+        """Delivered-message counts per kind (parity with sent counts)."""
+        out: Dict[str, int] = {}
+        for (net, kind), child in self._received.children.items():
+            if network is None or net == network:
+                out[kind] = out.get(kind, 0) + int(child.value)  # type: ignore[attr-defined]
+        return out
 
     def drops(self, reason: str | None = None) -> int:
         """Dropped messages, optionally filtered by reason."""
-        return sum(
-            value
-            for (net, kind, r), value in self.dropped_msgs.items()
-            if reason is None or r == reason
-        )
+        return self._sum(self._dropped, None, None, reason)
 
     def drops_of(self, network: str, reason: str | None = None,
                  kind: str | None = None) -> int:
         """Drops on one network, optionally filtered by reason and kind."""
-        return sum(
-            value
-            for (net, k, r), value in self.dropped_msgs.items()
-            if net == network
-            and (reason is None or r == reason)
-            and (kind is None or k == kind)
-        )
+        return self._sum(self._dropped, network, kind, reason)
 
     def total_messages(self, network: str | None = None) -> int:
-        return sum(
-            value
-            for (net, _kind), value in self.sent_msgs.items()
-            if network is None or net == network
-        )
+        return self._sum(self._sent, network)
 
     def kind_histogram(self, network: str | None = None) -> Dict[str, int]:
         """Message counts per kind (summed over networks by default)."""
         out: Dict[str, int] = {}
-        for (net, kind), value in self.sent_msgs.items():
+        for (net, kind), child in self._sent.children.items():
             if network is None or net == network:
-                out[kind] = out.get(kind, 0) + value
+                out[kind] = out.get(kind, 0) + int(child.value)  # type: ignore[attr-defined]
         return out
 
     def load_of(self, node: NodeId) -> int:
         """Messages sent or received by *node* (a proxy for its load)."""
-        return self.node_sent[node] + self.node_received[node]
+        sent = self._node_sent.children.get((node,))
+        received = self._node_received.children.get((node,))
+        return int((sent.value if sent is not None else 0)  # type: ignore[attr-defined]
+                   + (received.value if received is not None else 0))  # type: ignore[attr-defined]
+
+    def node_loads(self) -> Dict[str, int]:
+        """Per-node load (sent + received) for every node seen."""
+        out: Dict[str, int] = {}
+        for (node,), child in self._node_sent.children.items():
+            out[node] = out.get(node, 0) + int(child.value)  # type: ignore[attr-defined]
+        for (node,), child in self._node_received.children.items():
+            out[node] = out.get(node, 0) + int(child.value)  # type: ignore[attr-defined]
+        return out

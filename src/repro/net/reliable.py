@@ -177,11 +177,26 @@ class ReliableLink:
         self._next_seq: Dict[Tuple[NodeId, NodeId], int] = {}
         self._pending: Dict[Tuple[NodeId, NodeId, int], _Pending] = {}
         self._seen: Dict[Tuple[NodeId, NodeId], _Channel] = {}
-        # Per-instance counters (experiment reports read these).
+        # Per-instance counters (experiment reports read these as the
+        # deterministic primary source; the hub handles below mirror them
+        # into the observability exports).
         self.retransmissions = 0
         self.acks_sent = 0
         self.duplicates_suppressed = 0
         self.aborted = 0
+        hub = net.monitor.hub
+        self._obs_events = hub.counter(
+            "rdp_reliable_link_events_total",
+            "Reliable wired-link transport events, by type",
+            labels=("event",))
+        self._obs_retx = self._obs_events.labels("retransmission")
+        self._obs_acks = self._obs_events.labels("ack_sent")
+        self._obs_dups = self._obs_events.labels("duplicate_suppressed")
+        self._obs_aborts = self._obs_events.labels("aborted")
+        self._obs_unacked = hub.gauge(
+            "rdp_reliable_link_pending_frames",
+            "Unacknowledged reliable-link frames awaiting ack or retry")
+        self._obs_unacked.set_function(lambda: float(len(self._pending)))
 
     # -- sender side ------------------------------------------------------
 
@@ -212,6 +227,7 @@ class ReliableLink:
             return
         pending.attempts += 1
         self.retransmissions += 1
+        self._obs_retx.inc()
         self.net._transmit(frame.src, frame.dst, frame.message, frame,
                            retransmit=True)
         self._arm(pending)
@@ -227,6 +243,7 @@ class ReliableLink:
                 pending.timer.cancel()
             cancelled += 1
         self.aborted += cancelled
+        self._obs_aborts.inc(cancelled)
         return cancelled
 
     # -- receiver side ----------------------------------------------------
@@ -245,6 +262,7 @@ class ReliableLink:
             channel = self._seen[(frame.src, frame.dst)] = _Channel()
         if not channel.accept(frame.seq):
             self.duplicates_suppressed += 1
+            self._obs_dups.inc()
             self.net.monitor.on_drop(self.net.name, message, "duplicate")
             return
         assert frame.stamped is not None
@@ -264,6 +282,7 @@ class ReliableLink:
         ack.src = frame.dst
         ack.dst = frame.src
         self.acks_sent += 1
+        self._obs_acks.inc()
         self.net.monitor.on_send(self.net.name, ack)
         self.net._transmit(
             frame.dst, frame.src, ack,

@@ -78,6 +78,14 @@ class WiredNetwork:
         self._down: Set[NodeId] = set()
         self.failures: List[DeliveryFailure] = []
         self.dup_injected = 0
+        # Pre-bound observability handles (the TraceRecorder.wants()
+        # contract for metrics: resolve once, bump unconditionally).
+        fault_events = self.monitor.hub.counter(
+            "rdp_wired_fault_events_total",
+            "Fault-plan events materialized on the wired fabric, by type",
+            labels=("event",))
+        self._obs_dup_injected = fault_events.labels("duplicate_injected")
+        self._obs_delivery_failed = fault_events.labels("delivery_failed")
         # The reliable transport defaults to "on iff faults are on"; an
         # explicit reliable=False keeps the raw faulty fabric (the AN14
         # ablation that demonstrates what the transport buys).
@@ -196,6 +204,7 @@ class WiredNetwork:
                 return
             if faults.duplicated():
                 self.dup_injected += 1
+                self._obs_dup_injected.inc()
                 if self.recorder.wants("wired_dup"):
                     self.recorder.record(
                         self.sim.now, "wired_dup", src,
@@ -228,6 +237,7 @@ class WiredNetwork:
         """The reliable link gave up on a frame: count it, trace it, and
         keep the failure inspectable instead of hanging forever."""
         message = frame.message
+        self._obs_delivery_failed.inc()
         self.monitor.on_drop(self.name, message, "delivery_failed")
         if self.recorder.wants("delivery_failed"):
             self.recorder.record(

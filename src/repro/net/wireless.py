@@ -83,6 +83,13 @@ class WirelessChannel:
         self._hosts: Dict[NodeId, WirelessHost] = {}
         # Per-cell medium: the time until which the cell is transmitting.
         self._medium_busy_until: Dict[CellId, float] = {}
+        # Pre-bound observability handle: airtime (queueing +
+        # serialization) per transmission on a bandwidth-limited medium.
+        self._obs_airtime = self.monitor.hub.histogram(
+            "rdp_wireless_airtime_seconds",
+            "Shared-medium queueing plus serialization delay per "
+            "transmission (bandwidth-limited channels only)",
+            buckets=(0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0))
 
     def _airtime(self, cell: CellId, message: Message) -> float:
         """Queueing + serialization delay on the cell's shared medium."""
@@ -92,7 +99,9 @@ class WirelessChannel:
         start = max(self.sim.now, self._medium_busy_until.get(cell, 0.0))
         finish = start + serialization
         self._medium_busy_until[cell] = finish
-        return finish - self.sim.now
+        airtime = finish - self.sim.now
+        self._obs_airtime.observe(airtime)
+        return airtime
 
     def register_station(self, station: WirelessStation) -> None:
         self._stations[station.cell_id] = station

@@ -1,0 +1,486 @@
+"""Typed, deterministic, sim-time-aware metrics registry.
+
+The hub is the single accounting surface of a simulated world: every
+counter the protocol entities bump — network message counts, protocol
+events, latency samples — lives in one :class:`MetricsHub` as a typed
+metric *family* (:class:`CounterFamily`, :class:`GaugeFamily`,
+:class:`HistogramFamily`) with optional labels.  The legacy
+:class:`~repro.net.monitor.NetworkMonitor` and
+:class:`~repro.analysis.metrics.MetricsRegistry` interfaces are thin
+facades over this module, and the exporters in :mod:`repro.obs.export`
+render the same state as Prometheus text exposition or a canonical JSON
+snapshot.
+
+Design constraints, in order:
+
+* **Determinism.**  Nothing here reads a wall clock or draws randomness;
+  identical simulations produce identical hub contents, and exports
+  iterate in sorted order so snapshots are byte-stable run over run.
+  Timestamps, where they appear, are *simulated* time supplied by the
+  caller (see :mod:`repro.obs.scrape`).
+* **Zero overhead when disabled.**  A hub built with ``enabled=False``
+  hands out shared no-op handles whose ``inc``/``set``/``observe`` are
+  empty methods — the same contract as
+  :meth:`repro.sim.tracing.TraceRecorder.wants`: hot paths keep their
+  pre-bound handle and pay one no-op call, never a dict lookup.
+* **Pre-bound handles.**  ``family.labels(...)`` resolves a label set to
+  a child handle once; call sites store the handle and bump it directly.
+  Facades cache children so per-message accounting stays one dict lookup
+  plus an integer add, exactly the cost of the Counters they replaced.
+
+Histogram bucket bounds are fixed at registration (Prometheus-style
+cumulative ``le`` buckets with an implicit ``+Inf``), so two runs of the
+same scenario fill identical buckets.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+
+#: Default bucket bounds for simulated-seconds histograms (request
+#: latency, hand-off duration, redelivery delay, ...).
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+#: Default bucket bounds for small-integer histograms (attempt counts,
+#: hop counts, queue depths).
+COUNT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 5, 8, 13, 21, 34, 55)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelValues = Tuple[str, ...]
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ConfigError(f"invalid metric name {name!r}")
+    return name
+
+
+# -- live handles -------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing count (one label child or unlabeled)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ConfigError(f"counter decremented by {amount!r}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down, or be sampled from a callable."""
+
+    __slots__ = ("value", "_fn")
+
+    def __init__(self) -> None:
+        self.value: float = 0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        self.value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Sample the gauge lazily at export/scrape time."""
+        self._fn = fn
+
+    def read(self) -> float:
+        return float(self._fn()) if self._fn is not None else self.value
+
+
+class Histogram:
+    """Fixed-bound cumulative histogram (Prometheus semantics).
+
+    ``counts[i]`` counts observations ``<= bounds[i]``-exclusive style is
+    avoided: like Prometheus, bucket *i* accumulates ``v <= bounds[i]``
+    at export time; internally we store per-bucket (non-cumulative)
+    counts and cumulate when read.  ``track=True`` additionally keeps the
+    raw sample list — used by the :class:`MetricsRegistry` facade, whose
+    ``samples()``/``mean()`` API predates the hub.
+    """
+
+    __slots__ = ("bounds", "counts", "total", "sum", "samples")
+
+    def __init__(self, bounds: Sequence[float], track: bool = False) -> None:
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)  # +Inf tail
+        self.total = 0
+        self.sum: float = 0.0
+        self.samples: Optional[List[float]] = [] if track else None
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.total += 1
+        self.sum += value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bound >= value (bisect without imports)
+            mid = (lo + hi) // 2
+            if value <= self.bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.counts[lo] += 1
+        if self.samples is not None:
+            self.samples.append(float(value))
+
+    def cumulative(self) -> List[int]:
+        """Cumulative bucket counts, one per bound plus the +Inf tail."""
+        out: List[int] = []
+        running = 0
+        for count in self.counts:
+            running += count
+            out.append(running)
+        return out
+
+
+# -- no-op handles (shared singletons) ---------------------------------------
+
+
+class NullCounter:
+    """No-op counter: the disabled hub's zero-overhead handle."""
+
+    __slots__ = ()
+    value: float = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+
+class NullGauge:
+    __slots__ = ()
+    value: float = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def dec(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+class NullHistogram:
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    total = 0
+    sum = 0.0
+    samples: Optional[List[float]] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+    def cumulative(self) -> List[int]:
+        return [0]
+
+
+NULL_COUNTER = NullCounter()
+NULL_GAUGE = NullGauge()
+NULL_HISTOGRAM = NullHistogram()
+
+AnyCounter = Union[Counter, NullCounter]
+AnyGauge = Union[Gauge, NullGauge]
+AnyHistogram = Union[Histogram, NullHistogram]
+
+
+# -- families -----------------------------------------------------------------
+
+
+class MetricFamily:
+    """One named metric with a fixed label schema and typed children.
+
+    An unlabeled family has exactly one child (label values ``()``); a
+    labeled family materializes children on first use.  Children are the
+    handles call sites keep.
+    """
+
+    kind = "untyped"
+
+    def __init__(self, hub: "MetricsHub", name: str, help: str,
+                 labels: Sequence[str]) -> None:
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ConfigError(f"invalid label name {label!r} on {name!r}")
+        self.hub = hub
+        self.name = _check_name(name)
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+        self.children: Dict[LabelValues, object] = {}
+
+    def _make_child(self) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _child(self, values: LabelValues) -> object:
+        child = self.children.get(values)
+        if child is None:
+            if len(values) != len(self.label_names):
+                raise ConfigError(
+                    f"{self.name}: expected labels {self.label_names}, "
+                    f"got {values!r}")
+            child = self.children[values] = self._make_child()
+        return child
+
+    def items(self) -> List[Tuple[LabelValues, object]]:
+        """Children in sorted label order (deterministic export)."""
+        return sorted(self.children.items())
+
+
+class CounterFamily(MetricFamily):
+    kind = "counter"
+
+    def _make_child(self) -> Counter:
+        return Counter()
+
+    def labels(self, *values: str) -> Counter:
+        child = self._child(tuple(str(v) for v in values))
+        assert isinstance(child, Counter)
+        return child
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        """Bump the unlabeled child (labelless families only)."""
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Sum over all children (the family total)."""
+        return sum(c.value for c in self.children.values())  # type: ignore[attr-defined]
+
+
+class GaugeFamily(MetricFamily):
+    kind = "gauge"
+
+    def _make_child(self) -> Gauge:
+        return Gauge()
+
+    def labels(self, *values: str) -> Gauge:
+        child = self._child(tuple(str(v) for v in values))
+        assert isinstance(child, Gauge)
+        return child
+
+    def set(self, value: Union[int, float]) -> None:
+        self.labels().set(value)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        self.labels().set_function(fn)
+
+    def read(self) -> float:
+        return self.labels().read()
+
+
+class HistogramFamily(MetricFamily):
+    kind = "histogram"
+
+    def __init__(self, hub: "MetricsHub", name: str, help: str,
+                 labels: Sequence[str], buckets: Sequence[float],
+                 track: bool = False) -> None:
+        super().__init__(hub, name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigError(
+                f"{name}: bucket bounds must be non-empty, sorted, unique "
+                f"(got {buckets!r})")
+        self.buckets = bounds
+        self.track = track
+
+    def _make_child(self) -> Histogram:
+        return Histogram(self.buckets, track=self.track)
+
+    def labels(self, *values: str) -> Histogram:
+        child = self._child(tuple(str(v) for v in values))
+        assert isinstance(child, Histogram)
+        return child
+
+    def observe(self, value: Union[int, float]) -> None:
+        self.labels().observe(value)
+
+
+# -- the hub ------------------------------------------------------------------
+
+
+class MetricsHub:
+    """The world's metric registry: named typed families, one namespace.
+
+    Registration is idempotent for an identical schema (same type, label
+    names and — for histograms — bucket bounds) so independent modules
+    can ``hub.counter("rdp_x_total", ...)`` without coordinating; a
+    conflicting re-registration raises :class:`ConfigError`.
+
+    A disabled hub registers nothing and returns the shared no-op
+    handles, making every call site a cheap no-op (the
+    ``TraceRecorder.wants()`` contract, applied to metrics).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._families: Dict[str, MetricFamily] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def _register(self, cls: type, name: str, help: str,
+                  labels: Sequence[str], **extra: object) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            same = (type(existing) is cls
+                    and existing.label_names == tuple(labels))
+            if same and cls is HistogramFamily:
+                assert isinstance(existing, HistogramFamily)
+                same = existing.buckets == tuple(
+                    float(b) for b in extra["buckets"])  # type: ignore[union-attr]
+            if not same:
+                raise ConfigError(
+                    f"metric {name!r} re-registered with a different schema")
+            return existing
+        family = cls(self, name, help, labels, **extra)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> CounterFamily:
+        if not self.enabled:
+            return _NULL_COUNTER_FAMILY
+        family = self._register(CounterFamily, name, help, labels)
+        assert isinstance(family, CounterFamily)
+        return family
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> GaugeFamily:
+        if not self.enabled:
+            return _NULL_GAUGE_FAMILY
+        family = self._register(GaugeFamily, name, help, labels)
+        assert isinstance(family, GaugeFamily)
+        return family
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = LATENCY_BUCKETS,
+                  track: bool = False) -> HistogramFamily:
+        if not self.enabled:
+            return _NULL_HISTOGRAM_FAMILY
+        family = self._register(HistogramFamily, name, help, labels,
+                                buckets=buckets, track=track)
+        assert isinstance(family, HistogramFamily)
+        return family
+
+    # -- introspection -----------------------------------------------------
+
+    def families(self) -> List[MetricFamily]:
+        """All families, sorted by name (deterministic export order)."""
+        return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def counter_total(self, name: str) -> float:
+        """Family-wide counter total, 0 for unknown names."""
+        family = self._families.get(name)
+        if not isinstance(family, CounterFamily):
+            return 0
+        return family.value
+
+    def clear(self) -> None:
+        """Drop every family (schema included) — test isolation helper."""
+        self._families.clear()
+
+
+class _NullCounterFamily(CounterFamily):
+    """Disabled-hub counter family: labels() is the no-op handle."""
+
+    def __init__(self) -> None:  # no hub, no registration
+        self.name = "null"
+        self.help = ""
+        self.label_names = ()
+        self.children = {}
+
+    def labels(self, *values: str) -> NullCounter:  # type: ignore[override]
+        return NULL_COUNTER
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        pass
+
+    @property
+    def value(self) -> float:
+        return 0
+
+
+class _NullGaugeFamily(GaugeFamily):
+    def __init__(self) -> None:
+        self.name = "null"
+        self.help = ""
+        self.label_names = ()
+        self.children = {}
+
+    def labels(self, *values: str) -> NullGauge:  # type: ignore[override]
+        return NULL_GAUGE
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def read(self) -> float:
+        return 0.0
+
+
+class _NullHistogramFamily(HistogramFamily):
+    def __init__(self) -> None:
+        self.name = "null"
+        self.help = ""
+        self.label_names = ()
+        self.children = {}
+        self.buckets = (1.0,)
+        self.track = False
+
+    def labels(self, *values: str) -> NullHistogram:  # type: ignore[override]
+        return NULL_HISTOGRAM
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+_NULL_COUNTER_FAMILY = _NullCounterFamily()
+_NULL_GAUGE_FAMILY = _NullGaugeFamily()
+_NULL_HISTOGRAM_FAMILY = _NullHistogramFamily()
+
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "CounterFamily",
+    "Gauge",
+    "GaugeFamily",
+    "Histogram",
+    "HistogramFamily",
+    "LATENCY_BUCKETS",
+    "MetricFamily",
+    "MetricsHub",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NullCounter",
+    "NullGauge",
+    "NullHistogram",
+]

@@ -1,0 +1,54 @@
+"""Periodic sim-time metric scraping.
+
+A :class:`ScrapeProcess` ticks on the simulation clock (never the wall
+clock) and appends one JSON-ready snapshot of the hub per tick, each
+stamped with the simulated time it was taken.  The result is a
+deterministic time series — the same seed produces the same snapshots —
+that the ``observe`` CLI can dump alongside the final export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+from ..sim import Simulator
+from ..sim.process import PeriodicProcess
+from .export import snapshot
+from .registry import MetricsHub
+
+
+class ScrapeProcess:
+    """Snapshot the hub every ``period`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, hub: MetricsHub, period: float,
+                 max_snapshots: Optional[int] = None) -> None:
+        if period <= 0:
+            raise ConfigError(f"scrape period {period!r} must be positive")
+        self.sim = sim
+        self.hub = hub
+        self.period = period
+        self.max_snapshots = max_snapshots
+        self.snapshots: List[Dict[str, object]] = []
+        self._proc = PeriodicProcess(sim, self._scrape,
+                                     period=lambda: self.period,
+                                     label="obs:scrape")
+
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        self._proc.start(initial_delay)
+
+    def stop(self) -> None:
+        self._proc.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._proc.running
+
+    def _scrape(self) -> None:
+        self.snapshots.append(snapshot(self.hub, sim_time=self.sim.now))
+        if (self.max_snapshots is not None
+                and len(self.snapshots) >= self.max_snapshots):
+            self.stop()
+
+
+__all__ = ["ScrapeProcess"]

@@ -214,6 +214,20 @@ class MobileSupportStation:
             SubscriptionEndMsg: self._on_proxy_bound,
         }
 
+        # Lazy observability gauges: sampled at export/scrape time only,
+        # so the hot path pays nothing for them.
+        hub = self.instr.hub
+        hub.gauge(
+            "rdp_mss_live_proxies",
+            "Proxies currently hosted, per MSS",
+            labels=("node",),
+        ).labels(self.node_id).set_function(lambda: float(len(self.proxies)))
+        hub.gauge(
+            "rdp_mss_registered_mhs",
+            "Mobile hosts currently registered, per MSS",
+            labels=("node",),
+        ).labels(self.node_id).set_function(lambda: float(len(self.local_mhs)))
+
         wired.attach(self)
         wireless.register_station(self)
 

@@ -79,12 +79,18 @@ class World:
     """A fully wired simulated deployment."""
 
     def __init__(self, config: Optional[WorldConfig] = None,
-                 mss_class: Type[MobileSupportStation] = MobileSupportStation) -> None:
+                 mss_class: Type[MobileSupportStation] = MobileSupportStation,
+                 instruments: Optional[Instruments] = None) -> None:
         self.config = config or WorldConfig()
         self.sim = Simulator()
         self.rng = RngStreams(self.config.seed)
-        self.instruments = (Instruments() if self.config.trace
-                            else Instruments.disabled())
+        # An explicit bundle wins over the config's trace flag — the
+        # observe experiment passes a recorder filtered to span kinds
+        # with an online SpanBuilder sink already attached.
+        self.instruments = (
+            instruments if instruments is not None
+            else Instruments() if self.config.trace
+            else Instruments.disabled())
         self.directory = DirectoryService()
         self.cell_map = _build_cellmap(self.config)
 

@@ -1,0 +1,56 @@
+"""Tests for the ``observe`` subcommand and ``bench --obs``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import main
+
+
+def test_observe_smoke_accounts_and_exports_prometheus(tmp_path, capsys):
+    out = tmp_path / "metrics.prom"
+    assert main(["observe", "--preset", "smoke",
+                 "--export", "prom", "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "observe[smoke]" in printed
+    assert "100% accounted" in printed
+    assert str(out) in printed
+
+    text = out.read_text()
+    families = [line for line in text.splitlines()
+                if line.startswith("# TYPE ")]
+    assert len(families) >= 10
+    assert any("rdp_request_completion_time histogram" in line
+               for line in families)
+    assert any("rdp_net_messages_sent_total counter" in line
+               for line in families)
+
+
+def test_observe_json_export(tmp_path):
+    out = tmp_path / "metrics.json"
+    assert main(["observe", "--preset", "smoke", "--quiet",
+                 "--export", "json", "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert "sim_time" in doc
+    sent = doc["families"]["rdp_net_messages_sent_total"]
+    assert sent["type"] == "counter"
+    assert sent["label_names"] == ["net", "kind"]
+    assert sent["samples"]
+
+
+def test_bench_obs_adds_metrics_section(tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--preset", "smoke", "--obs", "--quiet",
+                 "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert set(doc) == {"schema", "scenario", "determinism", "timing",
+                        "metrics"}
+    metrics = doc["metrics"]
+    assert len(metrics) >= 10
+    # The digest must agree with the pinned determinism section: same
+    # hub, two views.
+    det = doc["determinism"]
+    assert sum(metrics["rdp_net_messages_sent_total"].values()) == \
+        det["messages"]
+    assert metrics["rdp_handoffs_completed_total"] == det["handoffs"]
+    assert metrics["rdp_net_messages_dropped_total"] != {}
