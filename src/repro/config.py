@@ -48,16 +48,22 @@ class WiredFaultSpec:
     duplication: float = 0.0
     spike_probability: float = 0.0
     spike: float = 0.5
+    reorder: float = 0.0
+    reorder_spread: float = 0.5
     partitions: Tuple[Tuple[str, str, float, float], ...] = ()
 
     def __post_init__(self) -> None:
         for name, rate in (("loss", self.loss),
                            ("duplication", self.duplication),
-                           ("spike_probability", self.spike_probability)):
+                           ("spike_probability", self.spike_probability),
+                           ("reorder", self.reorder)):
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"wired fault {name} {rate!r} out of [0, 1]")
         if self.spike < 0:
             raise ConfigError(f"negative wired delay spike {self.spike!r}")
+        if self.reorder_spread < 0:
+            raise ConfigError(
+                f"negative wired reorder spread {self.reorder_spread!r}")
         for window in self.partitions:
             if len(window) != 4:
                 raise ConfigError(f"malformed partition window {window!r}")
@@ -69,7 +75,7 @@ class WiredFaultSpec:
     def active(self) -> bool:
         """Does this spec actually perturb anything?"""
         return bool(self.loss or self.duplication or self.spike_probability
-                    or self.partitions)
+                    or self.reorder or self.partitions)
 
 
 @dataclass
@@ -102,6 +108,13 @@ class WorldConfig:
     wired_reliable: Optional[bool] = None
     # Retransmission schedule for the reliable link; None = defaults.
     wired_retry: Optional[RetryPolicy] = None
+    # Which reliable transport to build when one is active: "sr" is the
+    # selective-repeat sliding-window transport with adaptive RTO,
+    # "legacy" the original stop-and-wait per-message retransmitter
+    # (kept as the chaos ablation baseline).
+    wired_transport: str = "sr"
+    # Selective-repeat send window (frames in flight per channel).
+    wired_window: int = 32
     # Proxy-side redelivery of unacknowledged results (crash healing).
     # None = automatic: 5.0 s when wired_faults is set, otherwise off
     # (the paper's purely event-driven proxy).
@@ -143,3 +156,9 @@ class WorldConfig:
             raise ConfigError(f"wireless loss {self.wireless_loss!r} out of range")
         if self.proc_delay < 0 or self.ack_delay < 0:
             raise ConfigError("delays must be non-negative")
+        if self.wired_transport not in ("sr", "legacy"):
+            raise ConfigError(
+                f"unknown wired transport {self.wired_transport!r}")
+        if self.wired_window < 1:
+            raise ConfigError(
+                f"wired window {self.wired_window!r} must be >= 1")

@@ -252,11 +252,34 @@ class Proxy:
                 or msg.request_id in self._bounce_retries):
             self.instr.metrics.incr("proxy_stale_bounces")
             return
-        self._bounce_retries.add(msg.request_id)
+        self.instr.metrics.incr("proxy_bounce_retries", node=self.host.node_id)
+        self._schedule_redelivery(msg.request_id, record)
+
+    def on_delivery_failure(self, request_id: RequestId) -> None:
+        """The wired transport exhausted its retry budget on a forwarded
+        result (routed back here by the hosting MSS).
+
+        Transport persistence gave up — typically a partition outlasting
+        the whole retransmission schedule — so recovery moves up a
+        layer: the same paged redelivery loop that services bounces
+        re-forwards along whatever route ``update_currentloc`` reveals
+        once connectivity returns."""
+        record = self.requestlist.get(request_id)
+        if (self.deleted or record is None or not record.result_received
+                or request_id in self._bounce_retries):
+            return
+        self.instr.metrics.incr("proxy_transport_failures",
+                                node=self.host.node_id)
+        self._schedule_redelivery(request_id, record)
+
+    def _schedule_redelivery(self, request_id: RequestId,
+                             record: RequestRecord) -> None:
+        """One deterministic exponential-backoff redelivery timer per
+        request (shared by bounce handling and transport failures)."""
+        self._bounce_retries.add(request_id)
         delay = min(_BOUNCE_RETRY_CAP,
                     _BOUNCE_RETRY_BASE * (2 ** min(record.forward_count, 6)))
-        self.instr.metrics.incr("proxy_bounce_retries", node=self.host.node_id)
-        self.sim.schedule(delay, self._bounce_retry, msg.request_id,
+        self.sim.schedule(delay, self._bounce_retry, request_id,
                           label="proxy:bounce-retry")
 
     def _bounce_retry(self, request_id: RequestId) -> None:

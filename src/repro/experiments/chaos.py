@@ -22,7 +22,12 @@ by default) in the same two-section shape as the bench report:
 
 Run with ``reliable=False`` (CLI ``--unreliable``) to watch the same
 faults wreck the protocol without the transport — the ablation that
-shows what the reliable link buys.
+shows what the reliable link buys.  ``--transport legacy`` swaps the
+selective-repeat transport for the original stop-and-wait retransmitter,
+and every reliable report also embeds a ``transport_ablation`` block: a
+pinned mini-scenario swept over 5–20% wired loss under both transports,
+comparing goodput and delivery-latency percentiles (the table in
+``docs/TRANSPORT.md``).
 """
 
 from __future__ import annotations
@@ -34,7 +39,7 @@ from typing import Any, Dict, List
 
 from ..config import LatencySpec, WiredFaultSpec, WorldConfig
 from ..mobility.models import ExponentialResidence, RandomNeighborWalk
-from ..net.latency import ExponentialLatency
+from ..net.latency import ConstantLatency, ExponentialLatency
 from ..servers.echo import EchoServer
 from ..sim import PeriodicProcess
 from ..types import MhState, mss_id
@@ -81,7 +86,8 @@ PRESETS: Dict[str, ChaosPreset] = {
 }
 
 
-def build_config(preset: ChaosPreset, reliable: bool = True) -> WorldConfig:
+def build_config(preset: ChaosPreset, reliable: bool = True,
+                 transport: str = "sr") -> WorldConfig:
     """The world configuration for one chaos scenario."""
     t0 = preset.partition_at
     return WorldConfig(
@@ -100,14 +106,17 @@ def build_config(preset: ChaosPreset, reliable: bool = True) -> WorldConfig:
                          t0, t0 + preset.partition_length),),
         ),
         wired_reliable=reliable,
+        wired_transport=transport,
         trace=True,  # the oracle needs the trace stream
     )
 
 
-def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
+def run_chaos(preset: ChaosPreset, reliable: bool = True,
+              transport: str = "sr") -> Dict[str, Any]:
     """Run one chaos scenario; return the result document."""
     started = wall_clock()
-    world = World(build_config(preset, reliable=reliable))
+    world = World(build_config(preset, reliable=reliable,
+                               transport=transport))
     oracle = Oracle()
     oracle.attach(world.instruments.recorder)
     world.add_server("echo", EchoServer,
@@ -152,18 +161,22 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
 
     oracle.detach()
     oracle.finish()
+    # The transport ablation (skipped for the transportless run: there
+    # is nothing to compare).  Sim-domain outputs only, so the block is
+    # byte-stable run over run like the rest of ``determinism``.
+    ablation = _transport_ablation(preset.seed) if reliable else None
     wall = wall_clock() - started
 
     requests = sum(len(c.requests) for c in world.clients.values())
     delivered = sum(len(c.completed) for c in world.clients.values())
     monitor = world.monitor
-    transport = world.wired.transport
+    link = world.wired.transport
     metrics = world.instruments.metrics
     violations = sorted({v.invariant for v in oracle.violations})
     redelivery_latency = metrics.samples("redelivery_latency")
     redelivery_attempts = metrics.samples("redelivery_attempts")
     return {
-        "schema": 1,
+        "schema": 2,
         "scenario": {
             "preset": preset.name,
             "seed": preset.seed,
@@ -171,6 +184,7 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
             "n_cells": preset.n_cells,
             "duration": preset.duration,
             "reliable": reliable,
+            "transport": transport if reliable else None,
             "faults": world.wired.faults.describe()
                       if world.wired.faults is not None else None,
             "crash": [preset.crash_at,
@@ -193,7 +207,7 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
                 "drops_down": monitor.drops_of("wired", "down"),
                 "dup_injected": world.wired.dup_injected,
                 "delivery_failures": len(world.wired.failures),
-                "transport": transport.describe() if transport else None,
+                "transport": link.describe() if link else None,
             },
             # Requests that needed proxy-side redelivery (ack timeout,
             # result bounce, or location-update retransmission) before
@@ -213,10 +227,113 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True) -> Dict[str, Any]:
                                 if redelivery_latency else None),
             },
             "final_time": round(world.sim.now, 6),
+            "transport_ablation": ablation,
         },
         "timing": {
             "wall_seconds": round(wall, 3),
         },
+    }
+
+
+# -- transport ablation -------------------------------------------------------
+
+#: Wired loss rates swept by the ablation (the 5–20% band the ROADMAP
+#: names as the regime where stop-and-wait serializes on timeouts).
+ABLATION_LOSSES = (0.05, 0.10, 0.20)
+_ABLATION_DURATION = 40.0
+_ABLATION_HOSTS = 4
+_ABLATION_INTERARRIVAL = 0.8
+
+
+def _ablation_config(transport: str, loss: float, seed: int) -> WorldConfig:
+    """A pinned wired-heavy mini-scenario: static hosts, clean radio,
+    constant service — the only stochastic element is wired loss, so any
+    goodput/latency difference between rows is the transport's doing."""
+    return WorldConfig(
+        seed=seed,
+        n_cells=2,
+        topology="line",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.0,
+        wired_faults=WiredFaultSpec(loss=loss),
+        wired_reliable=True,
+        wired_transport=transport,
+        trace=False,  # counters only: these runs are measured, not audited
+    )
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile on a pre-sorted sample (deterministic)."""
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _ablation_run(transport: str, loss: float, seed: int) -> Dict[str, Any]:
+    """One ablation row: run the mini-scenario, report sim-domain
+    goodput and delivery-latency percentiles at the duration cutoff
+    (stragglers still in flight count against goodput — that is the
+    metric's point)."""
+    world = World(_ablation_config(transport, loss, seed))
+    world.add_server("echo", EchoServer, service_time=ConstantLatency(0.020))
+    processes: List[PeriodicProcess] = []
+    for i in range(_ABLATION_HOSTS):
+        name = f"ab{i}"
+        client = world.add_host(name, world.cells[i % 2])
+        rng = world.rng.stream(f"ablation.{name}")
+
+        def issue(client=client) -> None:
+            if client.host.state is MhState.ACTIVE:
+                client.request("echo", len(client.requests))
+        proc = PeriodicProcess(
+            world.sim, issue,
+            lambda rng=rng: rng.expovariate(1.0 / _ABLATION_INTERARRIVAL),
+            label="ablation:issue")
+        proc.start()
+        processes.append(proc)
+    world.run(until=_ABLATION_DURATION)
+    for proc in processes:
+        proc.stop()
+
+    latencies = sorted(
+        pending.completed_at - pending.issued_at
+        for client in world.clients.values()
+        for pending in client.requests.values()
+        if pending.done and pending.completed_at is not None)
+    requests = sum(len(c.requests) for c in world.clients.values())
+    transport_stats = world.wired.transport.describe() \
+        if world.wired.transport is not None else {}
+    return {
+        "transport": transport,
+        "loss": loss,
+        "requests": requests,
+        "delivered": len(latencies),
+        "goodput": round(len(latencies) / _ABLATION_DURATION, 6),
+        "latency_p50": (round(_percentile(latencies, 0.50), 6)
+                        if latencies else None),
+        "latency_p99": (round(_percentile(latencies, 0.99), 6)
+                        if latencies else None),
+        "latency_mean": (round(sum(latencies) / len(latencies), 6)
+                         if latencies else None),
+        "retransmissions": transport_stats.get("retransmissions", 0),
+        "delivery_failures": len(world.wired.failures),
+    }
+
+
+def _transport_ablation(seed: int) -> Dict[str, Any]:
+    """Sweep ``ABLATION_LOSSES`` under both transports (legacy first, so
+    rows pair up as baseline/candidate in the rendered table)."""
+    rows = [
+        _ablation_run(transport, loss, seed)
+        for loss in ABLATION_LOSSES
+        for transport in ("legacy", "sr")
+    ]
+    return {
+        "duration": _ABLATION_DURATION,
+        "n_hosts": _ABLATION_HOSTS,
+        "mean_interarrival": _ABLATION_INTERARRIVAL,
+        "losses": list(ABLATION_LOSSES),
+        "rows": rows,
     }
 
 
@@ -250,11 +367,12 @@ def render(result: Dict[str, Any]) -> str:
     verdict = ("OK — all invariants held" if det["violations"] == 0 else
                f"VIOLATED: {det['violations']} "
                f"({', '.join(det['violated_invariants'])})")
-    return "\n".join([
+    link = (f"on, {scenario.get('transport', 'sr')} transport"
+            if scenario["reliable"] else "OFF")
+    lines = [
         f"chaos[{scenario['preset']}]: {scenario['n_hosts']} MHs on a "
         f"{scenario['n_cells']}-cell ring, {scenario['duration']:.0f}s "
-        f"simulated (seed {scenario['seed']}, reliable link "
-        f"{'on' if scenario['reliable'] else 'OFF'})",
+        f"simulated (seed {scenario['seed']}, reliable link {link})",
         f"  oracle      {verdict}",
         f"  requests    {det['requests']:>8,}   "
         f"({det['delivered']:,} delivered)",
@@ -273,7 +391,17 @@ def render(result: Dict[str, Any]) -> str:
         f"  crashes     {det['crashes']:>8,}   "
         f"({det['nacks']:,} registration nacks)",
         f"  wall        {result['timing']['wall_seconds']:>8.3f}s",
-    ])
+    ]
+    ablation = det.get("transport_ablation")
+    if ablation:
+        lines.append("  ablation    loss   transport  goodput      p50"
+                     "      p99     retx")
+        for row in ablation["rows"]:
+            lines.append(
+                f"              {row['loss']:>4.0%}   {row['transport']:<9}"
+                f"{row['goodput']:>8.3f} {row['latency_p50'] or 0:>8.3f} "
+                f"{row['latency_p99'] or 0:>8.3f} {row['retransmissions']:>8,}")
+    return "\n".join(lines)
 
 
 def write_result(result: Dict[str, Any], out: pathlib.Path) -> None:

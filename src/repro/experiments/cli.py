@@ -196,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--unreliable", action="store_true",
                        help="disable the reliable link: same faults, no "
                             "repair (demonstrates the violations it prevents)")
+    chaos.add_argument("--transport", choices=("sr", "legacy"), default="sr",
+                       help="reliable transport to run the scenario under: "
+                            "selective-repeat (default) or the stop-and-wait "
+                            "baseline (see docs/TRANSPORT.md)")
     analyze = sub.add_parser(
         "analyze", help="run the AST-based protocol-conformance and "
                         "determinism passes (see docs/STATIC_ANALYSIS.md)")
@@ -313,7 +317,8 @@ def run_observe(args: argparse.Namespace) -> int:
 def run_chaos(args: argparse.Namespace) -> int:
     """The ``chaos`` subcommand: pinned fault soak -> JSON + summary."""
     preset = chaos_mod.PRESETS[args.preset]
-    result = chaos_mod.run_chaos(preset, reliable=not args.unreliable)
+    result = chaos_mod.run_chaos(preset, reliable=not args.unreliable,
+                                 transport=args.transport)
     out = args.out if args.out is not None else chaos_mod.default_out_path()
     chaos_mod.write_result(result, out)
     if not args.quiet:

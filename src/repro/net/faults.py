@@ -33,8 +33,12 @@ class FaultPlan:
     Rates are independent per frame: ``loss`` is the probability a frame
     vanishes in transit, ``duplication`` the probability it arrives
     twice, ``spike_probability`` the chance of adding ``spike`` seconds
-    of extra latency.  Partitions are absolute-time windows during which
-    every frame on the named (undirected) link is dropped.
+    of extra latency, and ``reorder`` the chance of a uniform random
+    delay in ``(0, reorder_spread]`` — enough to shuffle a frame behind
+    its successors, the adversarial schedule the selective-repeat
+    transport's SACK ranges exist for.  Partitions are absolute-time
+    windows during which every frame on the named (undirected) link is
+    dropped.
     """
 
     def __init__(
@@ -44,19 +48,28 @@ class FaultPlan:
         duplication: float = 0.0,
         spike_probability: float = 0.0,
         spike: float = 0.0,
+        reorder: float = 0.0,
+        reorder_spread: float = 0.0,
         partitions: Tuple[PartitionWindow, ...] = (),
     ) -> None:
         for name, rate in (("loss", loss), ("duplication", duplication),
-                           ("spike_probability", spike_probability)):
+                           ("spike_probability", spike_probability),
+                           ("reorder", reorder)):
             if not 0.0 <= rate <= 1.0:
                 raise ConfigError(f"fault {name} {rate!r} out of [0, 1]")
         if spike < 0:
             raise ConfigError(f"negative delay spike {spike!r}")
+        if reorder_spread < 0:
+            raise ConfigError(f"negative reorder spread {reorder_spread!r}")
+        if reorder > 0.0 and reorder_spread == 0.0:
+            raise ConfigError("reorder rate set but reorder_spread is 0")
         self.rng = rng
         self.loss = loss
         self.duplication = duplication
         self.spike_probability = spike_probability
         self.spike = spike
+        self.reorder = reorder
+        self.reorder_spread = reorder_spread
         self._partitions: List[PartitionWindow] = []
         for window in partitions:
             self.partition(*window)
@@ -92,9 +105,14 @@ class FaultPlan:
         return self.duplication > 0.0 and self.rng.random() < self.duplication
 
     def extra_delay(self) -> float:
+        extra = 0.0
         if self.spike_probability > 0.0 and self.rng.random() < self.spike_probability:
-            return self.spike
-        return 0.0
+            extra += self.spike
+        # Guarded draws: a plan with reorder disabled consumes exactly
+        # the PR-4 stream, keeping historical schedules byte-identical.
+        if self.reorder > 0.0 and self.rng.random() < self.reorder:
+            extra += self.rng.random() * self.reorder_spread
+        return extra
 
     # -- reporting --------------------------------------------------------
 
@@ -105,5 +123,7 @@ class FaultPlan:
             "duplication": self.duplication,
             "spike_probability": self.spike_probability,
             "spike": self.spike,
+            "reorder": self.reorder,
+            "reorder_spread": self.reorder_spread,
             "partitions": [list(window) for window in self._partitions],
         }

@@ -6,11 +6,13 @@ default.  The ordering layer is pluggable (``causal`` / ``fifo`` /
 ``raw``) so the AN6 ablation can weaken the guarantee.
 
 Assumption 1 itself is breakable: an optional :class:`FaultPlan`
-injects seeded loss/duplication/delay/partitions per frame, and an
-optional :class:`ReliableLink` transport (built automatically whenever a
-fault plan is present) repairs the damage with per-channel sequence
-numbers and ack/timeout retransmission *below* the ordering layer.  With
-neither configured the send path is the original lossless single hop.
+injects seeded loss/duplication/reorder/partitions per frame, and an
+optional reliable transport (built automatically whenever a fault plan
+is present) repairs the damage *below* the ordering layer — by default
+the selective-repeat sliding-window :class:`ReliableLink`, or the
+stop-and-wait :class:`LegacyReliableLink` baseline via
+``transport="legacy"`` (the chaos ablation).  With neither configured
+the send path is the original lossless single hop.
 
 Nodes attach with an object exposing ``node_id`` and
 ``on_wired_message(message)``.
@@ -21,7 +23,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, List, Optional, Protocol, Set, Union
 
-from ..errors import UnknownNodeError
+from ..errors import ConfigError, UnknownNodeError
 from ..sim import Simulator, TraceRecorder
 from ..types import NodeId, is_mss
 from .causal import OrderingLayer, StampedMessage, make_ordering
@@ -29,7 +31,14 @@ from .faults import FaultPlan
 from .latency import ConstantLatency, LatencyModel
 from .message import Message
 from .monitor import NetworkMonitor
-from .reliable import DeliveryFailure, Frame, ReliableLink, RetryPolicy
+from .reliable import (
+    DeliveryFailure,
+    Frame,
+    LegacyReliableLink,
+    ReliableLink,
+    RetryPolicy,
+    _LinkTransport,
+)
 
 # Optional per-pair propagation delay added on top of the sampled
 # latency: (src, dst) -> seconds.  Lets a world model geography — e.g.
@@ -64,6 +73,9 @@ class WiredNetwork:
         reliable: Optional[bool] = None,
         retry: Optional[RetryPolicy] = None,
         retry_rng: Optional[random.Random] = None,
+        transport: str = "sr",
+        window: int = 32,
+        max_batch: int = 8,
     ) -> None:
         self.sim = sim
         self.latency = latency or ConstantLatency(0.010)
@@ -89,11 +101,21 @@ class WiredNetwork:
         # The reliable transport defaults to "on iff faults are on"; an
         # explicit reliable=False keeps the raw faulty fabric (the AN14
         # ablation that demonstrates what the transport buys).
-        self.transport: Optional[ReliableLink] = None
+        if transport not in ("sr", "legacy"):
+            raise ConfigError(f"unknown wired transport {transport!r}")
+        self.transport_mode: Optional[str] = None
+        self.transport: Optional[_LinkTransport] = None
         if reliable if reliable is not None else faults is not None:
-            self.transport = ReliableLink(
-                self, policy=retry if retry is not None else RetryPolicy(),
-                rng=retry_rng if retry_rng is not None else random.Random(1))
+            policy = retry if retry is not None else RetryPolicy()
+            link_rng = retry_rng if retry_rng is not None else random.Random(1)
+            self.transport_mode = transport
+            if transport == "legacy":
+                self.transport = LegacyReliableLink(self, policy=policy,
+                                                   rng=link_rng)
+            else:
+                self.transport = ReliableLink(self, policy=policy,
+                                              rng=link_rng, window=window,
+                                              max_batch=max_batch)
 
     def attach(self, node: WiredNode) -> None:
         """Register a static node; replaces any previous registration."""
@@ -234,19 +256,30 @@ class WiredNetwork:
                 src=src, reason=reason)
 
     def _delivery_failed(self, frame: Frame, attempts: int) -> None:
-        """The reliable link gave up on a frame: count it, trace it, and
-        keep the failure inspectable instead of hanging forever."""
-        message = frame.message
-        self._obs_delivery_failed.inc()
-        self.monitor.on_drop(self.name, message, "delivery_failed")
-        if self.recorder.wants("delivery_failed"):
-            self.recorder.record(
-                self.sim.now, "delivery_failed", frame.src,
-                net=self.name, msg=message.kind, msg_id=message.msg_id,
-                dst=frame.dst, attempts=attempts)
-        self.failures.append(DeliveryFailure(
-            time=self.sim.now, src=frame.src, dst=frame.dst,
-            message=message, attempts=attempts))
+        """The reliable link gave up on a frame: count, trace and record
+        the failure *per carried message* (a selective-repeat frame may
+        batch several), then offer the source node a redelivery hook.
+
+        A node exposing ``on_delivery_failure(message)`` (the proxy
+        redelivery path via the hosting MSS) is told about each
+        abandoned message so application-level recovery — re-forwarding
+        a result along a fresh route — can take over where transport
+        persistence gave up."""
+        node = self._nodes.get(frame.src)
+        notify = getattr(node, "on_delivery_failure", None)
+        for message in frame.protocol_messages():
+            self._obs_delivery_failed.inc()
+            self.monitor.on_drop(self.name, message, "delivery_failed")
+            if self.recorder.wants("delivery_failed"):
+                self.recorder.record(
+                    self.sim.now, "delivery_failed", frame.src,
+                    net=self.name, msg=message.kind, msg_id=message.msg_id,
+                    dst=frame.dst, attempts=attempts)
+            self.failures.append(DeliveryFailure(
+                time=self.sim.now, src=frame.src, dst=frame.dst,
+                message=message, attempts=attempts))
+            if notify is not None:
+                notify(message)
 
     # -- arrival path -----------------------------------------------------
 

@@ -248,6 +248,25 @@ class MobileSupportStation:
             return
         self._inbox.push(message)
 
+    def on_delivery_failure(self, message: Message) -> None:
+        """The wired transport exhausted its retry budget on one of our
+        frames (called by :class:`~repro.net.wired.WiredNetwork`).
+
+        Only forwarded results get an application-level fallback: the
+        owning proxy re-enters its paged redelivery loop, so a result
+        survives even a partition longer than the whole retransmission
+        schedule.  Other kinds already have end-to-end retries above the
+        transport (greet timers, ack timeouts, location updates), so
+        they are only counted.
+        """
+        if self.down:
+            return  # a crash wiped the state any retry would need
+        self.instr.metrics.incr("mss_transport_failures", node=self.node_id)
+        if isinstance(message, ResultForwardMsg):
+            proxy = self.proxies.get(message.proxy_ref.proxy_id)
+            if proxy is not None:
+                proxy.on_delivery_failure(message.request_id)
+
     def _handle(self, message: Message) -> None:
         if self.down:
             # An inbox processing slot can still fire for a message that

@@ -104,6 +104,8 @@ class World:
                 duplication=spec.duplication,
                 spike_probability=spec.spike_probability,
                 spike=spec.spike,
+                reorder=spec.reorder,
+                reorder_spread=spec.reorder_spread,
                 partitions=tuple(
                     (NodeId(a), NodeId(b), t0, t1)
                     for a, b, t0, t1 in spec.partitions),
@@ -121,6 +123,8 @@ class World:
             reliable=self.config.wired_reliable,
             retry=self.config.wired_retry,
             retry_rng=self.rng.stream("reliable.wired"),
+            transport=self.config.wired_transport,
+            window=self.config.wired_window,
         )
         self.wireless = WirelessChannel(
             self.sim,

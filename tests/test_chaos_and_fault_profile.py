@@ -72,9 +72,41 @@ def test_chaos_cli_writes_report(tmp_path, capsys):
     rc = main(["chaos", "--preset", "smoke", "--out", str(out), "--quiet"])
     assert rc == 0
     doc = json.loads(out.read_text())
-    assert doc["schema"] == 1
+    assert doc["schema"] == 2
     assert doc["scenario"]["preset"] == "smoke"
+    assert doc["scenario"]["transport"] == "sr"
     assert doc["determinism"]["violations"] == 0
+
+
+def test_chaos_transport_ablation_block(smoke_result):
+    """The acceptance-criterion block: selective repeat must beat the
+    stop-and-wait baseline on goodput and p99 delivery latency across
+    the 5–20% wired-loss sweep (ties allowed on goodput — at low loss
+    both transports deliver everything issued)."""
+    ablation = smoke_result["determinism"]["transport_ablation"]
+    assert ablation["losses"] == [0.05, 0.10, 0.20]
+    rows = {(r["transport"], r["loss"]): r for r in ablation["rows"]}
+    assert len(rows) == 6
+    for loss in ablation["losses"]:
+        legacy, sr = rows[("legacy", loss)], rows[("sr", loss)]
+        assert sr["delivered"] > 0 and legacy["delivered"] > 0
+        assert sr["goodput"] >= legacy["goodput"]
+        assert sr["latency_p99"] < legacy["latency_p99"]
+    # The sweep gets harder as loss grows, and SR's edge must be real
+    # somewhere, not a wall of ties.
+    assert any(rows[("sr", loss)]["goodput"] > rows[("legacy", loss)]["goodput"]
+               for loss in ablation["losses"])
+
+
+def test_chaos_legacy_transport_still_survives():
+    """--transport legacy is the measured baseline, not a tombstone: the
+    full chaos scenario must still run clean under it."""
+    result = chaos.run_chaos(SMOKE, reliable=True, transport="legacy")
+    det = result["determinism"]
+    assert det["violations"] == 0
+    assert det["delivered"] == det["requests"] > 0
+    assert result["scenario"]["transport"] == "legacy"
+    assert det["wired"]["transport"]["retransmissions"] > 0
 
 
 # -- fuzzer fault profile ----------------------------------------------------

@@ -109,9 +109,24 @@ def test_retry_policy_backoff_progression():
 
 
 def test_retry_policy_jitter_stretches_deterministically():
-    policy = RetryPolicy(timeout=1.0, backoff=1.0, max_timeout=1.0, jitter=0.5)
+    policy = RetryPolicy(timeout=1.0, backoff=1.0, max_timeout=4.0, jitter=0.5)
     assert policy.timeout_for(1, 0.0) == 1.0
     assert policy.timeout_for(1, 1.0) == pytest.approx(1.5)
+    assert policy.timeout_for(1, 0.5) == pytest.approx(1.25)
+
+
+def test_retry_policy_jitter_never_exceeds_cap():
+    # Regression: the cap used to apply before jitter, so a fully
+    # backed-off delay could stretch to max_timeout * (1 + jitter).
+    policy = RetryPolicy(timeout=1.0, backoff=1.0, max_timeout=1.0, jitter=0.5)
+    assert policy.timeout_for(1, 1.0) == 1.0
+    deep = RetryPolicy(timeout=0.25, backoff=2.0, max_timeout=8.0, jitter=0.1)
+    for attempt in range(1, 12):
+        for draw in (0.0, 0.37, 0.999):
+            assert deep.timeout_for(attempt, draw) <= deep.max_timeout
+    # jittered() (the adaptive transport's path) honours the same cap.
+    assert deep.jittered(8.0, 0.999) == 8.0
+    assert deep.jittered(1.0, 0.5) == pytest.approx(1.05)
 
 
 def test_retry_policy_validation():
