@@ -15,10 +15,13 @@ Needs a world built with tracing enabled (``WorldConfig.trace=True``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..sim.tracing import TraceRecorder
 from .stats import Summary, summarize
+
+if TYPE_CHECKING:
+    from ..world import World
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,7 +63,7 @@ class LatencyBreakdown:
         return self.delivered_at - self.issued_at
 
 
-def extract_breakdowns(world) -> List[LatencyBreakdown]:
+def extract_breakdowns(world: "World") -> List[LatencyBreakdown]:
     """Build per-request breakdowns for every completed client request."""
     recorder: TraceRecorder = world.recorder
     admitted: Dict[str, float] = {}
@@ -117,7 +120,7 @@ class LatencyReport:
         return "\n".join(lines)
 
 
-def latency_report(world) -> LatencyReport:
+def latency_report(world: "World") -> LatencyReport:
     """Aggregate report for every *complete* request in the world."""
     breakdowns = [b for b in extract_breakdowns(world) if b.complete]
     return LatencyReport(

@@ -6,6 +6,11 @@ invalidate it) to occurrence counts.  Comparing a run against the
 baseline yields the findings that exceed their baselined count; fixing a
 finding and re-recording shrinks the baseline, so the ratchet only ever
 tightens unless someone deliberately re-records with new debt.
+
+Every baselined fingerprint must carry a written justification in the
+optional ``justifications`` map (fingerprint → one-line reason).  The
+CLI reports entries without one; re-recording preserves justifications
+for fingerprints that survive and drops the rest.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .model import Finding
 
@@ -45,12 +50,34 @@ def load_baseline(path: Path) -> Dict[str, int]:
     return {str(k): int(v) for k, v in findings.items()}
 
 
-def save_baseline(path: Path, findings: List[Finding]) -> None:
+def load_justifications(path: Path) -> Dict[str, str]:
+    """Fingerprint → written justification (empty map when absent)."""
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    justifications = data.get("justifications", {})
+    return {str(k): str(v) for k, v in justifications.items()}
+
+
+def unjustified(baseline: Dict[str, int],
+                justifications: Dict[str, str]) -> List[str]:
+    """Baselined fingerprints that carry no written justification."""
+    return sorted(fp for fp in baseline if not justifications.get(fp))
+
+
+def save_baseline(path: Path, findings: List[Finding],
+                  justifications: Optional[Dict[str, str]] = None) -> None:
     counts = Counter(f.fingerprint() for f in findings)
-    payload = {
+    if justifications is None and path.exists():
+        justifications = load_justifications(path)
+    kept = {fp: text for fp, text in sorted((justifications or {}).items())
+            if fp in counts}
+    payload: Dict[str, object] = {
         "version": BASELINE_VERSION,
         "findings": {fp: counts[fp] for fp in sorted(counts)},
     }
+    if kept:
+        payload["justifications"] = kept
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 

@@ -1,24 +1,29 @@
 """Rule registry, suppression engine, and the one-call entry point.
 
 ``run_analysis(root)`` loads the tree, runs every (selected) pass,
-applies ``# repro: allow[RULE]`` suppressions (same line or the
-immediately preceding comment-only line), and reports unused
-suppressions as SUP001 findings so the allow-list can never rot.
+applies ``# repro: allow[RULE]`` suppressions (same line, the comment
+line directly above the finding, or the comment line directly above the
+head of the enclosing statement — so an allow above a decorator or a
+multi-line call still covers it), and reports unused suppressions as
+SUP001 findings so the allow-list can never rot.
 """
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from .determinism_rules import DETERMINISM_RULES, run_determinism_rules
-from .model import Finding, SourceTree, Suppression
+from .model import Finding, SourceFile, SourceTree, Suppression
 from .protocol_rules import PROTOCOL_RULES, run_protocol_rules
+from .shard_rules import SHARD_RULES, run_shard_rules
 
 RULES: Dict[str, str] = {
     **{rule_id: doc for rule_id, (_f, doc) in PROTOCOL_RULES.items()},
     **{rule_id: doc for rule_id, (_f, doc) in DETERMINISM_RULES.items()},
+    **{rule_id: doc for rule_id, (_f, doc) in SHARD_RULES.items()},
     "SUP001": "unused # repro: allow[...] suppression",
 }
 
@@ -42,17 +47,61 @@ def _comment_only(line: str) -> bool:
     return stripped.startswith("#")
 
 
+_COMPOUND = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.If,
+             ast.For, ast.AsyncFor, ast.While, ast.With, ast.AsyncWith,
+             ast.Try)
+
+
+def _statement_heads(src: SourceFile) -> Dict[int, int]:
+    """Map each line of a statement *head* to the head's first line.
+
+    The head of a compound statement runs from its first decorator
+    through the line before its first body statement (so a multi-line
+    signature or condition counts); a simple statement's head is its
+    whole span.  Inner statements override enclosing ones, so a finding
+    inside a function body resolves to its own statement, not the def.
+    """
+    heads: Dict[int, int] = {}
+
+    def visit(statements: Sequence[ast.stmt]) -> None:
+        for node in statements:
+            start = node.lineno
+            decorators = getattr(node, "decorator_list", [])
+            if decorators:
+                start = min(start, min(d.lineno for d in decorators))
+            if isinstance(node, _COMPOUND):
+                first_body = min((s.lineno for s in node.body),
+                                 default=node.lineno + 1)
+                end = max(node.lineno, first_body - 1)
+            else:
+                end = node.end_lineno or node.lineno
+            for line in range(start, end + 1):
+                heads[line] = start
+            for attr in ("body", "orelse", "finalbody"):
+                children = getattr(node, attr, None)
+                if isinstance(children, list):
+                    visit([s for s in children if isinstance(s, ast.stmt)])
+            for handler in getattr(node, "handlers", []):
+                visit(handler.body)
+
+    visit(src.tree.body)
+    return heads
+
+
 def _suppression_for(finding: Finding,
                      by_file: Dict[str, List[Suppression]],
-                     lines_by_file: Dict[str, List[str]]) -> Optional[Suppression]:
-    """A suppression covers a finding on its own line, or on the line
-    directly below when the suppression line holds only the comment."""
+                     lines_by_file: Dict[str, List[str]],
+                     heads_by_file: Dict[str, Dict[int, int]]) -> Optional[Suppression]:
+    """A suppression covers a finding on its own line, on the comment
+    line directly above, or on the comment line directly above the head
+    of the enclosing statement (decorators included)."""
+    head = heads_by_file.get(finding.path, {}).get(finding.line, finding.line)
     for sup in by_file.get(finding.path, []):
         if finding.rule not in sup.rules:
             continue
         if sup.line == finding.line:
             return sup
-        if sup.line == finding.line - 1:
+        if sup.line in (finding.line - 1, head - 1):
             lines = lines_by_file.get(finding.path, [])
             if 1 <= sup.line <= len(lines) and _comment_only(lines[sup.line - 1]):
                 return sup
@@ -66,6 +115,7 @@ def run_analysis(root: Path,
     raw: List[Finding] = []
     raw.extend(run_protocol_rules(tree, selected))
     raw.extend(run_determinism_rules(tree, selected))
+    raw.extend(run_shard_rules(tree, selected))
     for rel, error in tree.unparseable:
         raw.append(Finding(rule="SUP001", path=rel, line=1,
                            message=f"file does not parse: {error}",
@@ -73,14 +123,16 @@ def run_analysis(root: Path,
 
     by_file: Dict[str, List[Suppression]] = {}
     lines_by_file: Dict[str, List[str]] = {}
+    heads_by_file: Dict[str, Dict[int, int]] = {}
     for src in tree:
         if src.suppressions:
             by_file[src.rel] = src.suppressions
+            heads_by_file[src.rel] = _statement_heads(src)
         lines_by_file[src.rel] = src.lines
 
     result = AnalysisResult(root=tree.root, files_scanned=len(tree.files))
     for finding in raw:
-        sup = _suppression_for(finding, by_file, lines_by_file)
+        sup = _suppression_for(finding, by_file, lines_by_file, heads_by_file)
         if sup is not None:
             sup.used = True
             result.suppressed.append(finding)

@@ -20,10 +20,13 @@ from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List, Set
 
 from ..errors import VerificationError
 from ..types import NodeId
+
+if TYPE_CHECKING:
+    from ..world import World
 
 
 @dataclass
@@ -43,7 +46,7 @@ class VerificationReport:
             raise VerificationError("; ".join(self.violations))
 
 
-def check_delivery_at_least_once(world, report: VerificationReport) -> None:
+def check_delivery_at_least_once(world: "World", report: VerificationReport) -> None:
     """Every completed client request has at least one delivered result.
 
     Only meaningful after ``run_until_idle`` with every MH left active and
@@ -57,7 +60,7 @@ def check_delivery_at_least_once(world, report: VerificationReport) -> None:
                     f"request {pending.request_id} of {name} never completed")
 
 
-def check_no_duplicate_app_deliveries(world, report: VerificationReport) -> None:
+def check_no_duplicate_app_deliveries(world: "World", report: VerificationReport) -> None:
     """The application layer never sees the same delivery id twice."""
     report.checked.append("no_duplicate_app_deliveries")
     for name, host in world.hosts.items():
@@ -69,7 +72,7 @@ def check_no_duplicate_app_deliveries(world, report: VerificationReport) -> None
                     f"{count} times")
 
 
-def check_at_most_one_live_proxy(world, report: VerificationReport) -> None:
+def check_at_most_one_live_proxy(world: "World", report: VerificationReport) -> None:
     """No MH has two live proxies with pending requests at the end."""
     report.checked.append("at_most_one_live_proxy")
     busy: Dict[NodeId, List[str]] = defaultdict(list)
@@ -82,7 +85,7 @@ def check_at_most_one_live_proxy(world, report: VerificationReport) -> None:
             report.fail(f"{mh} has {len(proxies)} busy proxies: {proxies}")
 
 
-def check_proxy_uniqueness_over_time(world, report: VerificationReport) -> None:
+def check_proxy_uniqueness_over_time(world: "World", report: VerificationReport) -> None:
     """From the trace: one serving proxy per MH at any time.
 
     A brief benign overlap exists while a drained proxy waits for its
@@ -115,7 +118,7 @@ def check_proxy_uniqueness_over_time(world, report: VerificationReport) -> None:
             f"superseded proxy {proxy_id} of {mh} never deleted")
 
 
-def check_pref_consistency(world, report: VerificationReport) -> None:
+def check_pref_consistency(world: "World", report: VerificationReport) -> None:
     """Every non-null pref points at a live proxy for that MH."""
     report.checked.append("pref_consistency")
     proxies_by_ref = {}
@@ -138,7 +141,7 @@ def check_pref_consistency(world, report: VerificationReport) -> None:
                     f"{proxy.mh}")
 
 
-def check_registration_uniqueness(world, report: VerificationReport) -> None:
+def check_registration_uniqueness(world: "World", report: VerificationReport) -> None:
     """No MH is in two stations' local_mhs simultaneously (assumption 3)."""
     report.checked.append("registration_uniqueness")
     owners: Dict[NodeId, List[NodeId]] = defaultdict(list)
@@ -150,7 +153,7 @@ def check_registration_uniqueness(world, report: VerificationReport) -> None:
             report.fail(f"{mh} registered at {len(stations)} MSSs: {stations}")
 
 
-def check_proxy_reachability(world, report: VerificationReport) -> None:
+def check_proxy_reachability(world: "World", report: VerificationReport) -> None:
     """Every live proxy with pending work is reachable: some pref (or an
     in-flight custody hand-over) references it, or its MH's respMss can
     rebuild the reference from the proxy's own forwards.  A busy proxy
@@ -183,7 +186,7 @@ def check_proxy_reachability(world, report: VerificationReport) -> None:
                 f"{proxy.mh} is referenced by no pref")
 
 
-def check_no_lingering_proxies(world, report: VerificationReport) -> None:
+def check_no_lingering_proxies(world: "World", report: VerificationReport) -> None:
     """After quiescence with no open subscriptions, all proxies are gone."""
     report.checked.append("no_lingering_proxies")
     for station in world.stations.values():
@@ -194,7 +197,7 @@ def check_no_lingering_proxies(world, report: VerificationReport) -> None:
                     f"pending requests {sorted(proxy.requestlist)}")
 
 
-def check_all(world, expect_quiescent: bool = True,
+def check_all(world: "World", expect_quiescent: bool = True,
               expect_no_proxies: bool = False) -> VerificationReport:
     """Run every applicable invariant check; returns the report."""
     report = VerificationReport()

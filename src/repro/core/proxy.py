@@ -97,6 +97,7 @@ class Proxy:
         instruments: Instruments,
         send_server_acks: bool = False,
         ack_timeout: Optional[float] = None,
+        currentloc: Optional[NodeId] = None,
     ) -> None:
         self.sim = sim
         self.host = host
@@ -111,7 +112,10 @@ class Proxy:
         # Fault-injected worlds need it — an MSS crash can destroy the
         # pref whose location update the proxy is waiting for.
         self.ack_timeout = ack_timeout
-        self.currentloc: NodeId = host.node_id
+        # The MH's believed location: the hosting MSS by default, or the
+        # respMss that requested this proxy's creation (AN5 hand-off).
+        self.currentloc: NodeId = (
+            currentloc if currentloc is not None else host.node_id)
         self.requestlist: Dict[RequestId, RequestRecord] = {}
         self.completed: Set[RequestId] = set()
         self._bounce_retries: Set[RequestId] = set()

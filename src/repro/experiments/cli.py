@@ -15,7 +15,7 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Set
 
 from ..analysis.charts import curve, hbar_chart
 from ..analysis.sequence import render_chart
@@ -214,9 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--update-baseline", action="store_true",
                          help="re-record the baseline from this run's "
                               "findings and exit 0")
-    analyze.add_argument("--rules", default=None,
-                         help="comma-separated rule ids to run "
-                              "(default: all)")
+    analyze.add_argument("--select", "--rules", dest="select", default=None,
+                         help="comma-separated rule ids or id prefixes to "
+                              "run, e.g. SHD or SHD001,DET (default: all)")
+    analyze.add_argument("--format", choices=("text", "json", "sarif"),
+                         default="text",
+                         help="output format (json/sarif are stably "
+                              "ordered for CI artifacts)")
+    analyze.add_argument("--out", type=pathlib.Path, default=None,
+                         help="also write the rendered report to this file")
     analyze.add_argument("--list-rules", action="store_true",
                          help="list rule ids and exit")
     return parser
@@ -330,19 +336,44 @@ def run_chaos(args: argparse.Namespace) -> int:
     return 1 if violations and not args.unreliable else 0
 
 
+def _select_rules(spec: str) -> Set[str]:
+    """Expand comma-separated ids/prefixes against the rule registry."""
+    from ..analysis.static import RULES
+
+    selected = set()
+    for token in (t.strip() for t in spec.split(",")):
+        if not token:
+            continue
+        if token in RULES:
+            selected.add(token)
+            continue
+        expanded = {rule_id for rule_id in RULES
+                    if rule_id.startswith(token)}
+        if not expanded:
+            raise ConfigError(f"--select: unknown rule or prefix "
+                              f"{token!r} (see --list-rules)")
+        selected.update(expanded)
+    return selected
+
+
 def run_analyze(args: argparse.Namespace) -> int:
     """The ``analyze`` subcommand: static passes plus baseline ratchet."""
     from ..analysis.static import (
-        compare, load_baseline, render_result, rule_ids, run_analysis,
-        save_baseline)
+        compare, load_baseline, load_justifications, render_json,
+        render_result, render_sarif, rule_ids, run_analysis, save_baseline,
+        unjustified)
 
     if args.list_rules:
         for rule_id, doc in rule_ids():
             print(f"{rule_id:<8} {doc}")
         return 0
     selected = None
-    if args.rules:
-        selected = {r.strip() for r in args.rules.split(",") if r.strip()}
+    if args.select:
+        try:
+            selected = _select_rules(args.select)
+        except ConfigError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     root = args.root or pathlib.Path(__file__).resolve().parents[1]
     result = run_analysis(root, selected)
 
@@ -365,11 +396,23 @@ def run_analyze(args: argparse.Namespace) -> int:
     comparison = None
     if not args.no_baseline:
         try:
-            comparison = compare(result.findings, load_baseline(baseline_path))
+            baseline = load_baseline(baseline_path)
+            comparison = compare(result.findings, baseline)
         except ValueError as exc:
             print(f"cannot read baseline: {exc}", file=sys.stderr)
             return 2
-    print(render_result(result, comparison))
+        for fp in unjustified(baseline, load_justifications(baseline_path)):
+            print(f"analyze: baseline entry lacks a justification: {fp}",
+                  file=sys.stderr)
+
+    renderers = {"text": render_result, "json": render_json,
+                 "sarif": render_sarif}
+    rendered = renderers[args.format](result, comparison)
+    print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.out is not None:
+        args.out.write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8")
     failed = comparison.new if comparison is not None else result.findings
     return 1 if failed else 0
 

@@ -142,11 +142,16 @@ class WirelessChannel:
             )
         delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
                                                               message)
-        self.sim.schedule(delay, self._deliver_downlink, station, host, message,
-                          label=f"wl-down:{message.kind}")
+        # Events carry ids, never live endpoints: the station and host are
+        # re-resolved at delivery time so a scheduled frame holds no alias
+        # that could dangle across a shard boundary (SHD006).
+        self.sim.schedule(delay, self._deliver_downlink, station.cell_id,
+                          host_id, message, label=f"wl-down:{message.kind}")
 
-    def _deliver_downlink(self, station: WirelessStation, host: WirelessHost,
+    def _deliver_downlink(self, cell: CellId, host_id: NodeId,
                           message: Message) -> None:
+        station = self.station_of(cell)
+        host = self.host(host_id)
         if host.state is not MhState.ACTIVE:
             self._drop(message, "inactive")
             return
@@ -183,10 +188,11 @@ class WirelessChannel:
             )
         delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
                                                               message)
-        self.sim.schedule(delay, self._deliver_uplink, station, message,
-                          label=f"wl-up:{message.kind}")
+        self.sim.schedule(delay, self._deliver_uplink, station.cell_id,
+                          message, label=f"wl-up:{message.kind}")
 
-    def _deliver_uplink(self, station: WirelessStation, message: Message) -> None:
+    def _deliver_uplink(self, cell: CellId, message: Message) -> None:
+        station = self.station_of(cell)
         if self._lost():
             self._drop(message, "loss")
             return

@@ -17,7 +17,7 @@ simulated time in the JSON snapshots instead.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .registry import (
     CounterFamily,
@@ -41,7 +41,8 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
-def _label_str(names: tuple, values: tuple, extra: str = "") -> str:
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...],
+               extra: str = "") -> str:
     parts = [f'{n}="{str(v).translate(_ESCAPES)}"'
              for n, v in zip(names, values)]
     if extra:

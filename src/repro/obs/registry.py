@@ -36,7 +36,7 @@ same scenario fill identical buckets.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 from ..errors import ConfigError
 
@@ -339,7 +339,7 @@ class MetricsHub:
 
     # -- registration ------------------------------------------------------
 
-    def _register(self, cls: type, name: str, help: str,
+    def _register(self, cls: Type[MetricFamily], name: str, help: str,
                   labels: Sequence[str], **extra: object) -> MetricFamily:
         existing = self._families.get(name)
         if existing is not None:

@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim.tracing import TraceRecord
 
@@ -146,7 +146,7 @@ class DeliverySpan:
         """Compute stage attribution and hand-off overlap counts."""
         latency = self.latency
         window_end = self.delivered_at
-        seen: set = set()
+        seen: Set[Tuple[str, str]] = set()
         wireless = wired = 0.0
         for hop in self.hops:
             if hop.kind not in _BREAKDOWN_KINDS:

@@ -347,12 +347,14 @@ class MobileSupportStation:
         self.instr.metrics.incr("mh_page_hits", node=self.node_id)
         self._send_update_currentloc(msg.mh, msg.proxy_ref)
 
-    def _create_proxy(self, mh: NodeId) -> Proxy:
+    def _create_proxy(self, mh: NodeId,
+                      currentloc: Optional[NodeId] = None) -> Proxy:
         proxy_id = ProxyId(f"px{next(_proxy_ids)}")
         proxy = Proxy(
             self.sim, self, mh, proxy_id, self.instr,
             send_server_acks=self.config.send_server_acks,
             ack_timeout=self.config.proxy_ack_timeout,
+            currentloc=currentloc,
         )
         self.proxies[proxy_id] = proxy
         return proxy
@@ -790,8 +792,7 @@ class MobileSupportStation:
             payload=msg.payload))
 
     def _on_create_proxy(self, msg: CreateProxyMsg) -> None:
-        proxy = self._create_proxy(msg.mh)
-        proxy.currentloc = msg.resp_mss
+        proxy = self._create_proxy(msg.mh, currentloc=msg.resp_mss)
         proxy.admit_request(msg.request_id, msg.service, msg.payload)
         assert msg.src is not None
         self._wired_send(msg.src, ProxyCreatedMsg(mh=msg.mh, ref=proxy.ref))

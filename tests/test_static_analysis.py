@@ -433,6 +433,59 @@ def test_preceding_comment_suppression_swallows_finding(tmp_path):
     assert [f.rule for f in result.suppressed] == ["DET001"]
 
 
+def test_suppression_above_decorated_function_covers_head(tmp_path):
+    """Satellite regression: an allow comment above a decorated function
+    covers findings on the function head (here: an unseeded Random()
+    default evaluated at def time)."""
+    result = analyze(tmp_path, {"mod.py": '''
+        from random import Random
+
+        def deco(f):
+            return f
+
+        # repro: allow[DET002]
+        @deco
+        def make(rng=Random()):
+            return rng
+    '''})
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DET002"]
+
+
+def test_suppression_above_multiline_statement_head_covers_finding(tmp_path):
+    """Satellite regression: the allow comment sits above a statement
+    whose expression continues onto the next line — the finding's own
+    line is inside the statement, not directly under the comment."""
+    result = analyze(tmp_path, {"mod.py": '''
+        import time
+
+        def stamp():
+            # repro: allow[DET001]
+            return (
+                time.time())
+    '''})
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["DET001"]
+
+
+def test_suppression_above_decorator_does_not_cover_body(tmp_path):
+    """Precision guard: a head-level allow must not swallow findings in
+    the function body."""
+    result = analyze(tmp_path, {"mod.py": '''
+        import time
+
+        def deco(f):
+            return f
+
+        # repro: allow[DET001]
+        @deco
+        def stamp():
+            return time.time()
+    '''})
+    rules = sorted(f.rule for f in result.findings)
+    assert rules == ["DET001", "SUP001"]  # unsuppressed + stale allow
+
+
 def test_unused_suppression_reports_sup001(tmp_path):
     result = analyze(tmp_path, {"mod.py": '''
         def fine():
@@ -597,6 +650,100 @@ def test_cli_list_rules(capsys):
 def test_cli_rules_subset(capsys):
     assert main(["analyze", "--rules", "DET001,DET002",
                  "--no-baseline"]) == 0
+
+
+def test_cli_select_prefix_expansion(tmp_path, capsys):
+    (tmp_path / "stations").mkdir()
+    (tmp_path / "stations" / "mss.py").write_text(textwrap.dedent('''
+        import time
+
+        class MobileSupportStation:
+            def poke(self, proxy: "Proxy") -> None:
+                proxy.currentloc = time.time()
+    '''))
+    # The SHD prefix selects the whole shard family — and only it: the
+    # DET001 wall clock on the same line must not appear.
+    code = main(["analyze", "--root", str(tmp_path), "--no-baseline",
+                 "--select", "SHD"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "SHD001" in out
+    assert "DET001" not in out
+
+
+def test_cli_select_unknown_rule_errors(capsys):
+    assert main(["analyze", "--no-baseline", "--select", "NOPE"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_format_json_is_stable(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    outputs = []
+    for _ in range(2):
+        code = main(["analyze", "--root", str(tmp_path), "--no-baseline",
+                     "--format", "json"])
+        assert code == 1
+        outputs.append(capsys.readouterr().out)
+    assert outputs[0] == outputs[1]
+    payload = json.loads(outputs[0])
+    assert payload["findings"][0]["rule"] == "DET001"
+    assert payload["findings"][0]["path"] == "mod.py"
+    assert "fingerprint" in payload["findings"][0]
+
+
+def test_cli_format_sarif(tmp_path, capsys):
+    (tmp_path / "mod.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    out_file = tmp_path / "analysis.sarif"
+    code = main(["analyze", "--root", str(tmp_path), "--no-baseline",
+                 "--format", "sarif", "--out", str(out_file)])
+    assert code == 1
+    printed = capsys.readouterr().out
+    assert out_file.read_text() == printed
+    sarif = json.loads(printed)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-analyze"
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {"DET001"}
+    result = run["results"][0]
+    assert result["ruleId"] == "DET001"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "mod.py"
+    assert location["region"]["startLine"] == 4
+
+
+def test_baseline_justifications_roundtrip(tmp_path, capsys):
+    from repro.analysis.static import load_justifications, unjustified
+
+    (tmp_path / "mod.py").write_text(
+        "import time\n\ndef f():\n    return time.time()\n")
+    baseline = tmp_path / "baseline.json"
+    assert main(["analyze", "--root", str(tmp_path),
+                 "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+
+    # An unjustified entry passes the gate but warns on stderr.
+    assert main(["analyze", "--root", str(tmp_path),
+                 "--baseline", str(baseline)]) == 0
+    assert "lacks a justification" in capsys.readouterr().err
+
+    # Writing the justification silences the warning ...
+    payload = json.loads(baseline.read_text())
+    fingerprint = next(iter(payload["findings"]))
+    payload["justifications"] = {fingerprint: "legacy wall clock, tracked"}
+    baseline.write_text(json.dumps(payload))
+    assert main(["analyze", "--root", str(tmp_path),
+                 "--baseline", str(baseline)]) == 0
+    assert "lacks a justification" not in capsys.readouterr().err
+    assert unjustified(load_baseline(baseline),
+                       load_justifications(baseline)) == []
+
+    # ... and --update-baseline preserves it for surviving fingerprints.
+    assert main(["analyze", "--root", str(tmp_path),
+                 "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert json.loads(baseline.read_text())["justifications"] == {
+        fingerprint: "legacy wall clock, tracked"}
 
 
 def test_mypy_strict_ratchet_modules_exist():
