@@ -168,6 +168,7 @@ HOSTED_BY: Dict[str, str] = {
 #: everyone else may only derive streams they own.
 STREAM_OWNERS: Tuple[Tuple[str, str], ...] = (
     ("faults.wired", ROLE_CHANNEL),
+    ("faults.wireless", ROLE_CHANNEL),
     ("latency.wired", ROLE_CHANNEL),
     ("reliable.wired", ROLE_CHANNEL),
     ("latency.wireless", ROLE_CHANNEL),

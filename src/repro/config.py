@@ -79,6 +79,53 @@ class WiredFaultSpec:
 
 
 @dataclass
+class WirelessFaultSpec:
+    """Fault injection for the radio last mile (what MHs actually see).
+
+    Built into a seeded :class:`~repro.net.faults.WirelessFaultPlan` by
+    the world (stream ``faults.wireless``).  Blackouts are
+    ``(cell_id, t0, t1)`` absolute-time windows during which the whole
+    cell is dark; ``handoff_blackout`` is the per-migration radio
+    retuning window in seconds.
+    """
+
+    loss: float = 0.0
+    burst_probability: float = 0.0
+    burst_length: float = 1.0
+    burst_loss: float = 1.0
+    congestion_probability: float = 0.0
+    congestion_delay: float = 0.25
+    handoff_blackout: float = 0.0
+    blackouts: Tuple[Tuple[str, float, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name, rate in (("loss", self.loss),
+                           ("burst_probability", self.burst_probability),
+                           ("burst_loss", self.burst_loss),
+                           ("congestion_probability", self.congestion_probability)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"wireless fault {name} {rate!r} out of [0, 1]")
+        for name, duration in (("burst_length", self.burst_length),
+                               ("congestion_delay", self.congestion_delay),
+                               ("handoff_blackout", self.handoff_blackout)):
+            if duration < 0:
+                raise ConfigError(f"negative wireless {name} {duration!r}")
+        for window in self.blackouts:
+            if len(window) != 3:
+                raise ConfigError(f"malformed blackout window {window!r}")
+            _cell, t0, t1 = window
+            if t1 <= t0:
+                raise ConfigError(f"empty blackout window {window!r}")
+
+    @property
+    def active(self) -> bool:
+        """Does this spec actually perturb anything?"""
+        return bool(self.loss or self.burst_probability
+                    or self.congestion_probability or self.handoff_blackout
+                    or self.blackouts)
+
+
+@dataclass
 class WorldConfig:
     """Everything needed to build a world."""
 
@@ -101,6 +148,22 @@ class WorldConfig:
     wired_distance_delay: Optional[float] = None
     # Wired fault injection; None = the paper's lossless fabric.
     wired_faults: Optional[WiredFaultSpec] = None
+    # Radio fault injection beyond flat wireless_loss; None = off and the
+    # channel stays on its historical RNG draw sequence.
+    wireless_faults: Optional[WirelessFaultSpec] = None
+    # MSS-side redelivery of unacknowledged downlink results.  None =
+    # automatic: 3.0 s when wireless_faults is set, otherwise off (the
+    # paper's fire-and-forget respMss).  <= 0 forces off even with
+    # faults (chaos ablation).
+    wireless_ack_timeout: Optional[float] = None
+    # Cap for the MH's registration-retry exponential backoff.  None =
+    # automatic: 8 * greet_retry_interval when wireless_faults is set,
+    # otherwise the legacy fixed retry interval (no backoff).
+    greet_backoff_cap: Optional[float] = None
+    # Bound on how long a proxy keeps an undeliverable result in custody
+    # before discarding it with a custody_expired trace.  None = keep
+    # forever (the paper's unbounded result store).
+    proxy_custody_ttl: Optional[float] = None
     # Reliable link transport under the ordering layer.  None = automatic
     # (on iff wired_faults is set); False with faults demonstrates what
     # the transport buys (AN14 ablation); True without faults exercises
@@ -162,3 +225,9 @@ class WorldConfig:
         if self.wired_window < 1:
             raise ConfigError(
                 f"wired window {self.wired_window!r} must be >= 1")
+        if self.greet_backoff_cap is not None and self.greet_backoff_cap <= 0:
+            raise ConfigError(
+                f"greet backoff cap {self.greet_backoff_cap!r} must be positive")
+        if self.proxy_custody_ttl is not None and self.proxy_custody_ttl <= 0:
+            raise ConfigError(
+                f"proxy custody ttl {self.proxy_custody_ttl!r} must be positive")

@@ -76,6 +76,9 @@ class RequestRecord:
     result: Any = None
     result_received: bool = False
     delivery_id: int = 0
+    # When the result entered this proxy's custody (result store); drives
+    # the custody-age histogram and the optional custody TTL.
+    custody_since: Optional[float] = None
     forward_count: int = 0
     # When the first ResultForward left the proxy; the redelivery-latency
     # histogram measures first-forward -> Ack for requests that needed
@@ -97,6 +100,7 @@ class Proxy:
         instruments: Instruments,
         send_server_acks: bool = False,
         ack_timeout: Optional[float] = None,
+        custody_ttl: Optional[float] = None,
         currentloc: Optional[NodeId] = None,
     ) -> None:
         self.sim = sim
@@ -112,6 +116,11 @@ class Proxy:
         # Fault-injected worlds need it — an MSS crash can destroy the
         # pref whose location update the proxy is waiting for.
         self.ack_timeout = ack_timeout
+        # Bound on result custody: a held result older than this is
+        # discarded with an explicit custody_expired trace instead of
+        # leaking silently.  None (the default) keeps custody forever —
+        # the paper's unbounded result store.
+        self.custody_ttl = custody_ttl
         # The MH's believed location: the hosting MSS by default, or the
         # respMss that requested this proxy's creation (AN5 hand-off).
         self.currentloc: NodeId = (
@@ -120,9 +129,15 @@ class Proxy:
         self.completed: Set[RequestId] = set()
         self._bounce_retries: Set[RequestId] = set()
         self._ack_timers: Dict[RequestId, Any] = {}
+        self._custody_timers: Dict[RequestId, Any] = {}
         self.deleted = False
         self.created_at = sim.now
         self.retransmissions = 0
+        self._obs_custody_age = instruments.hub.histogram(
+            "rdp_proxy_custody_age_seconds",
+            "Time a result spent in proxy custody before Ack or expiry",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+                     60.0, 120.0))
         instruments.metrics.incr("proxies_created", node=host.node_id)
         instruments.recorder.record(sim.now, "proxy_create", host.node_id,
                                     mh=mh, proxy_id=proxy_id)
@@ -306,6 +321,11 @@ class Proxy:
             timer = self._ack_timers.pop(msg.request_id, None)
             if timer is not None:
                 timer.cancel()
+            custody_timer = self._custody_timers.pop(msg.request_id, None)
+            if custody_timer is not None:
+                custody_timer.cancel()
+            if record.custody_since is not None:
+                self._obs_custody_age.observe(self.sim.now - record.custody_since)
             self.completed.add(msg.request_id)
             if self.instr.recorder.wants("proxy_ack"):
                 self.instr.recorder.record(self.sim.now, "proxy_ack",
@@ -344,8 +364,46 @@ class Proxy:
         record.result = payload
         record.result_received = True
         record.delivery_id = next(_delivery_ids)
+        record.custody_since = self.sim.now
         self.instr.metrics.incr("proxy_results_received", node=self.host.node_id)
+        if self.instr.recorder.wants("proxy_result"):
+            # Custody begins here: the no-custody-leak invariant demands
+            # every one of these rows is discharged by a proxy_ack, a
+            # custody_expired, or the hosting MSS crashing.
+            self.instr.recorder.record(self.sim.now, "proxy_result",
+                                       self.host.node_id,
+                                       mh=self.mh, proxy_id=self.proxy_id,
+                                       request_id=record.request_id)
+        self._arm_custody_timer(record)
         self._forward_result(record, retransmission=False)
+
+    def _arm_custody_timer(self, record: RequestRecord) -> None:
+        if self.custody_ttl is None or record.custody_since is None:
+            return
+        old = self._custody_timers.pop(record.request_id, None)
+        if old is not None:
+            old.cancel()
+        remaining = max(0.0, record.custody_since + self.custody_ttl - self.sim.now)
+        self._custody_timers[record.request_id] = self.sim.schedule(
+            remaining, self._custody_expired, record.request_id,
+            label="proxy:custody-ttl")
+
+    def _custody_expired(self, request_id: RequestId) -> None:
+        self._custody_timers.pop(request_id, None)
+        record = self.requestlist.get(request_id)
+        if self.deleted or record is None or not record.result_received:
+            return
+        del self.requestlist[request_id]
+        timer = self._ack_timers.pop(request_id, None)
+        if timer is not None:
+            timer.cancel()
+        age = self.sim.now - (record.custody_since or self.created_at)
+        self._obs_custody_age.observe(age)
+        self.instr.metrics.incr("proxy_custody_expired", node=self.host.node_id)
+        self.instr.recorder.record(self.sim.now, "custody_expired",
+                                   self.host.node_id,
+                                   mh=self.mh, proxy_id=self.proxy_id,
+                                   request_id=request_id, age=age)
 
     def _is_last_pending(self, request_id: RequestId) -> bool:
         return len(self.requestlist) == 1 and request_id in self.requestlist
@@ -397,6 +455,9 @@ class Proxy:
         for timer in self._ack_timers.values():
             timer.cancel()
         self._ack_timers.clear()
+        for timer in self._custody_timers.values():
+            timer.cancel()
+        self._custody_timers.clear()
 
     def _maybe_signal_last_pending(self) -> None:
         """Figure 4's special message: when an Ack leaves exactly one
@@ -437,6 +498,10 @@ class Proxy:
         right after construction)."""
         for record in state["records"]:
             self.requestlist[record.request_id] = record
+            if record.result_received:
+                # Custody moved with the record; the TTL clock does not
+                # reset on migration.
+                self._arm_custody_timer(record)
         self.completed = set(state["completed"])
         self.retransmissions = state.get("retransmissions", 0)
         self.created_at = state.get("created_at", self.created_at)

@@ -28,6 +28,15 @@ and every reliable report also embeds a ``transport_ablation`` block: a
 pinned mini-scenario swept over 5–20% wired loss under both transports,
 comparing goodput and delivery-latency percentiles (the table in
 ``docs/TRANSPORT.md``).
+
+Reliable reports also embed a ``wireless_ablation`` block — the last
+mile's counterpart: a pinned scenario where every MH crashes mid-flight
+and recovers in a *different* cell, run once with the full robustness
+stack (durable client log, proxy custody, wireless-leg redelivery, the
+proxy ack-timeout backstop) and once with all of it disabled (amnesiac
+recovery, 1-second custody TTL, no redelivery).  The first arm must
+deliver every issued request; the second shows the measurable loss the
+machinery exists to prevent (``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ import pathlib
 from dataclasses import dataclass
 from typing import Any, Dict, List
 
-from ..config import LatencySpec, WiredFaultSpec, WorldConfig
+from ..config import (LatencySpec, WiredFaultSpec, WirelessFaultSpec,
+                      WorldConfig)
 from ..mobility.models import ExponentialResidence, RandomNeighborWalk
 from ..net.latency import ConstantLatency, ExponentialLatency
 from ..servers.echo import EchoServer
@@ -161,10 +171,11 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True,
 
     oracle.detach()
     oracle.finish()
-    # The transport ablation (skipped for the transportless run: there
-    # is nothing to compare).  Sim-domain outputs only, so the block is
+    # The ablations (skipped for the transportless run: there is
+    # nothing to compare).  Sim-domain outputs only, so the blocks are
     # byte-stable run over run like the rest of ``determinism``.
     ablation = _transport_ablation(preset.seed) if reliable else None
+    wireless_ablation = _wireless_ablation(preset.seed) if reliable else None
     wall = wall_clock() - started
 
     requests = sum(len(c.requests) for c in world.clients.values())
@@ -228,6 +239,7 @@ def run_chaos(preset: ChaosPreset, reliable: bool = True,
             },
             "final_time": round(world.sim.now, 6),
             "transport_ablation": ablation,
+            "wireless_ablation": wireless_ablation,
         },
         "timing": {
             "wall_seconds": round(wall, 3),
@@ -337,6 +349,140 @@ def _transport_ablation(seed: int) -> Dict[str, Any]:
     }
 
 
+# -- wireless (last-mile) ablation --------------------------------------------
+
+#: The two arms: full robustness stack vs. none of it.
+WIRELESS_ABLATION_ARMS = ("recovery", "no_recovery")
+_WL_ABLATION_DURATION = 30.0
+_WL_ABLATION_HOSTS = 3
+_WL_ABLATION_INTERARRIVAL = 0.6
+_WL_ISSUE_UNTIL = 18.0
+_WL_CRASH_AT = 8.0          # host i crashes at 8 + 2i ...
+_WL_CRASH_SPACING = 2.0
+_WL_DOWNTIME = 2.0          # ... and recovers 2 s later in a NEW cell
+_WL_BLACKOUT_LENGTH = 1.2   # its old cell is dark while it is down
+#: One late blackout of the recovery cell, after the issue cutoff:
+#: results in flight get dropped while every MH stays registered, so the
+#: only way home is the wireless ack-timeout redelivery.
+_WL_LATE_BLACKOUT = (18.5, 19.5)
+
+
+def _wireless_ablation_config(arm: str, seed: int) -> WorldConfig:
+    """A pinned last-mile mini-scenario: clean wires, constant service,
+    every MH crashes mid-flight and recovers in a different cell while
+    its old cell blacks out.  The ``recovery`` arm runs the full stack
+    (durable client log, proxy custody, wireless ack-timeout
+    redelivery); ``no_recovery`` recovers amnesiac with redelivery
+    forced off and a 1 s custody TTL that expires before the MH is back.
+    Any delivery-ratio gap between the arms is the machinery's doing."""
+    durable = arm == "recovery"
+    blackouts = tuple(
+        (f"cell{i}", _WL_CRASH_AT + i * _WL_CRASH_SPACING,
+         _WL_CRASH_AT + i * _WL_CRASH_SPACING + _WL_BLACKOUT_LENGTH)
+        for i in range(_WL_ABLATION_HOSTS)) + (
+        (f"cell{_WL_ABLATION_HOSTS}",) + _WL_LATE_BLACKOUT,)
+    return WorldConfig(
+        seed=seed,
+        n_cells=_WL_ABLATION_HOSTS + 1,  # a spare cell to recover into
+        topology="ring",
+        wired_latency=LatencySpec(kind="constant", mean=0.010),
+        wireless_latency=LatencySpec(kind="constant", mean=0.005),
+        wireless_loss=0.0,
+        wireless_faults=WirelessFaultSpec(blackouts=blackouts),
+        wired_reliable=True,
+        # None = the wireless-faults automatic (3.0 s); <= 0 forces off.
+        wireless_ack_timeout=(None if durable else -1.0),
+        proxy_custody_ttl=(None if durable else 1.0),
+        trace=False,  # counters only: these runs are measured, not audited
+    )
+
+
+def _wl_recover(world: World, name: str, cell: Any, durable: bool) -> None:
+    """Bring a crashed ablation host back — with or without its log."""
+    if durable:
+        world.recover_mh(name, cell)
+    else:
+        world.hosts[name].recover(cell, amnesia=True)
+
+
+def _wireless_ablation_run(arm: str, seed: int) -> Dict[str, Any]:
+    """One ablation arm.  Clients have NO retry timer, so end-to-end
+    delivery rests entirely on the last-mile machinery: the durable log
+    replays requests that were unanswered at crash time, and proxy
+    custody plus ack-timeout redelivery walk the held results to the
+    recovery cell.  The amnesiac arm loses exactly the crash-straddling
+    requests — the measurable gap the report quantifies."""
+    durable = arm == "recovery"
+    world = World(_wireless_ablation_config(arm, seed))
+    # Slow service: a 1.2 s turnaround makes most crashes catch requests
+    # mid-flight, which is the whole point of the scenario.
+    world.add_server("echo", EchoServer, service_time=ConstantLatency(1.2))
+    spare = world.cells[_WL_ABLATION_HOSTS]
+    processes: List[PeriodicProcess] = []
+    for i in range(_WL_ABLATION_HOSTS):
+        name = f"wl{i}"
+        client = world.add_host(name, world.cells[i])
+        rng = world.rng.stream(f"wl-ablation.{name}")
+
+        def issue(client=client) -> None:
+            if world.sim.now > _WL_ISSUE_UNTIL:
+                return
+            if client.host.state is MhState.ACTIVE:
+                client.request("echo", len(client.requests))
+        proc = PeriodicProcess(
+            world.sim, issue,
+            lambda rng=rng: rng.expovariate(1.0 / _WL_ABLATION_INTERARRIVAL),
+            label="wl-ablation:issue")
+        proc.start()
+        processes.append(proc)
+        crash_at = _WL_CRASH_AT + i * _WL_CRASH_SPACING
+        world.sim.schedule(crash_at, world.crash_mh, name,
+                           label="wl-ablation:crash")
+        world.sim.schedule(crash_at + _WL_DOWNTIME, _wl_recover,
+                           world, name, spare, durable,
+                           label="wl-ablation:recover")
+
+    world.run(until=_WL_ABLATION_DURATION)
+    for proc in processes:
+        proc.stop()
+    # Settle window: redelivery backoff and the custody chase need room
+    # after the last recovery; bounded, so the arm terminates even when
+    # results are unrecoverable by design.
+    world.sim.run(until=world.sim.now + 25.0)
+
+    requests = sum(len(c.requests) for c in world.clients.values())
+    delivered = sum(len(c.completed) for c in world.clients.values())
+    metrics = world.instruments.metrics
+    return {
+        "arm": arm,
+        "requests": requests,
+        "delivered": delivered,
+        "delivery_ratio": (round(delivered / requests, 6)
+                           if requests else None),
+        "recoveries": metrics.count("mh_recoveries"),
+        "redeliveries": metrics.count("wireless_redeliveries"),
+        "custody_expired": metrics.count("proxy_custody_expired"),
+        "wireless_drops": world.monitor.drops_of("wireless"),
+    }
+
+
+def _wireless_ablation(seed: int) -> Dict[str, Any]:
+    """Run both arms of the last-mile ablation (the table in
+    ``docs/FAULTS.md``).  ``recovery`` must deliver everything."""
+    return {
+        "duration": _WL_ABLATION_DURATION,
+        "n_hosts": _WL_ABLATION_HOSTS,
+        "mean_interarrival": _WL_ABLATION_INTERARRIVAL,
+        "crash_schedule": [
+            [_WL_CRASH_AT + i * _WL_CRASH_SPACING,
+             _WL_CRASH_AT + i * _WL_CRASH_SPACING + _WL_DOWNTIME]
+            for i in range(_WL_ABLATION_HOSTS)],
+        "late_blackout": list(_WL_LATE_BLACKOUT),
+        "arms": [_wireless_ablation_run(arm, seed)
+                 for arm in WIRELESS_ABLATION_ARMS],
+    }
+
+
 def _drain(world: World, reliable: bool) -> None:
     """Bounded settle: wake everyone, let retries run, then cut them.
 
@@ -401,6 +547,16 @@ def render(result: Dict[str, Any]) -> str:
                 f"              {row['loss']:>4.0%}   {row['transport']:<9}"
                 f"{row['goodput']:>8.3f} {row['latency_p50'] or 0:>8.3f} "
                 f"{row['latency_p99'] or 0:>8.3f} {row['retransmissions']:>8,}")
+    wireless = det.get("wireless_ablation")
+    if wireless:
+        lines.append("  last mile   arm          reqs  delivered   ratio"
+                     "  redeliv  expired")
+        for row in wireless["arms"]:
+            ratio = row["delivery_ratio"]
+            lines.append(
+                f"              {row['arm']:<11}{row['requests']:>5,}  "
+                f"{row['delivered']:>9,} {ratio if ratio is not None else 0:>7.3f}"
+                f" {row['redeliveries']:>8,} {row['custody_expired']:>8,}")
     return "\n".join(lines)
 
 

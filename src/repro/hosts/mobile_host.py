@@ -39,6 +39,7 @@ from ..net.message import Message
 from ..net.wireless import WirelessChannel
 from ..sim import Simulator, Timer
 from ..types import CellId, MhState, NodeId, RequestId, mh_id
+from .clientlog import ClientLog
 
 _request_ids = itertools.count(1)
 
@@ -53,6 +54,7 @@ class MobileHost:
         wireless: WirelessChannel,
         instruments: Optional[Instruments] = None,
         greet_retry_interval: float = 1.0,
+        greet_backoff_cap: Optional[float] = None,
         ack_delay: float = 0.0,
     ) -> None:
         self.sim = sim
@@ -61,6 +63,10 @@ class MobileHost:
         self.wireless = wireless
         self.instr = instruments or Instruments.disabled()
         self.greet_retry_interval = greet_retry_interval
+        # When set, registration retries back off exponentially (doubling
+        # per attempt) up to this cap — bounded pressure on a blacked-out
+        # cell.  None keeps the legacy fixed interval.
+        self.greet_backoff_cap = greet_backoff_cap
         self.ack_delay = ack_delay
 
         self.state: MhState = MhState.LEFT
@@ -82,7 +88,11 @@ class MobileHost:
         # Registration incarnation: bumped for each new announcement;
         # retransmissions of the same announcement reuse it.
         self._reg_seq = 0
+        # Retransmissions of the current announcement (drives backoff).
+        self._reg_retries = 0
         self._announcement: Tuple[Optional[NodeId], tuple, int] = (None, (), 0)
+        # Durable log: survives crash() where everything below does not.
+        self.log = ClientLog()
         self._seen_deliveries: Set[int] = set()
         self._delivered_requests: Set[RequestId] = set()
         self._unacked: Set[RequestId] = set()
@@ -143,8 +153,13 @@ class MobileHost:
         self.instr.recorder.record(self.sim.now, "migrate", self.node_id,
                                    old=old_cell, new=cell, state=self.state.value)
         self.instr.metrics.incr("mh_migrations", node=self.node_id)
-        if self.state is MhState.INACTIVE:
+        if self.state in (MhState.INACTIVE, MhState.DOZING, MhState.CRASHED):
+            # Radio is off: the move is physical only; the protocol-side
+            # hand-off happens on activate/wake/recover.
             return
+        # The radio retunes while switching cells: under a wireless fault
+        # plan this opens the per-host hand-off blackout window.
+        self.wireless.note_handoff(self.node_id)
         # After announcing itself to the new MSS the MH must not reply to
         # any other MSS: pending (delayed) Acks for the old cell die here.
         self._drop_pending_acks()
@@ -173,6 +188,105 @@ class MobileHost:
         self.instr.metrics.incr("mh_activations", node=self.node_id)
         self._send_registration()
 
+    def doze(self) -> None:
+        """Radio off to save power; all protocol state is kept.
+
+        Unlike :meth:`deactivate` (the paper's planned power-down), doze
+        models an OS-driven sleep that can hit with requests in flight —
+        the durable proxy custody is what makes that safe.
+        """
+        if self.state is not MhState.ACTIVE:
+            raise ProtocolError(f"{self.node_id} cannot doze while {self.state}")
+        self.state = MhState.DOZING
+        self.registered = False
+        self._greet_timer.cancel()
+        self._drop_pending_acks()
+        self.instr.recorder.record(self.sim.now, "mh_doze", self.node_id,
+                                   cell=self.current_cell)
+        self.instr.metrics.incr("mh_dozes", node=self.node_id)
+
+    def wake(self) -> None:
+        """Wake from doze and re-register in the current cell."""
+        if self.state is not MhState.DOZING:
+            raise ProtocolError(f"{self.node_id} cannot wake while {self.state}")
+        self.state = MhState.ACTIVE
+        self.instr.recorder.record(self.sim.now, "mh_wake", self.node_id,
+                                   cell=self.current_cell)
+        self.instr.metrics.incr("mh_wakes", node=self.node_id)
+        self._send_registration()
+
+    def crash(self) -> None:
+        """Lose all volatile state; only the durable client log survives.
+
+        The host goes dark until :meth:`recover`.  In-flight downlink
+        frames addressed to it will be dropped by the channel.
+        """
+        if self.state in (MhState.LEFT, MhState.CRASHED):
+            raise ProtocolError(f"{self.node_id} cannot crash while {self.state}")
+        self.state = MhState.CRASHED
+        self.registered = False
+        self.resp_mss = None
+        self._announced_mss = None
+        self._confirmed_mss = None
+        self._announce_history = []
+        self._reg_seq = 0
+        self._reg_retries = 0
+        self._announcement = (None, (), 0)
+        self._seen_deliveries = set()
+        self._delivered_requests = set()
+        self._queued_requests = []
+        self._greet_timer.cancel()
+        for event in self._pending_ack_events:
+            event.cancel()
+        self._pending_ack_events = []
+        self._unacked = set()
+        self.instr.recorder.record(self.sim.now, "mh_crash", self.node_id,
+                                   cell=self.current_cell)
+        self.instr.metrics.incr("mh_crashes", node=self.node_id)
+
+    def recover(self, cell: CellId, amnesia: bool = False) -> None:
+        """Come back up in *cell* and run the recovery handshake.
+
+        Restores the dedup set and registration lineage from the durable
+        log, greets the new MSS with a truthful ``old_mss`` (so result
+        custody is chased across the hand-off even when *cell* differs
+        from where we crashed), and replays unanswered requests — the
+        proxy deduplicates them by request id and re-forwards or
+        re-delivers the held results.
+
+        ``amnesia=True`` wipes the log first: a client with no durable
+        storage, kept for the chaos ablation that quantifies what the
+        log buys.
+        """
+        if self.state is not MhState.CRASHED:
+            raise ProtocolError(f"{self.node_id} cannot recover while {self.state}")
+        if amnesia:
+            self.log.wipe()
+        self.current_cell = cell
+        self.state = MhState.ACTIVE
+        # Rebuild what the log can vouch for.
+        self._reg_seq = self.log.reg_seq
+        self._delivered_requests = set(self.log.delivered_ids())
+        self._confirmed_mss = self.log.confirmed_mss
+        # The greet's old_mss must be the *last announced* MSS — we may
+        # have handed our state there even if its confirmation never
+        # reached us before the crash; the confirmed MSS rides along in
+        # the candidate list for the custody chase.
+        announced = self.log.announced
+        self._announced_mss = (announced[0] if announced
+                               else self.log.confirmed_mss)
+        self._announce_history = announced
+        replay = [RequestMsg(mh=self.node_id, request_id=r.request_id,
+                             service=r.service, payload=r.payload)
+                  for r in self.log.unanswered()]
+        self._queued_requests = replay
+        self.instr.recorder.record(self.sim.now, "mh_recover", self.node_id,
+                                   cell=cell, replayed=len(replay),
+                                   dedup=len(self._delivered_requests))
+        # The metrics bridge exports this as rdp_mh_recoveries_total.
+        self.instr.metrics.incr("mh_recoveries", node=self.node_id)
+        self._send_registration()
+
     # -- registration -------------------------------------------------------------
 
     def _send_registration(self) -> None:
@@ -191,10 +305,14 @@ class MobileHost:
                 candidates.append(node)
         self._announcement = (self._announced_mss, tuple(candidates[:3]),
                               self._reg_seq)
+        self._reg_retries = 0
+        self.log.note_registration(self._reg_seq)
         station = self.wireless.station_of(self.current_cell)
         self._announced_mss = station.node_id
         self._announce_history.insert(0, station.node_id)
         del self._announce_history[3:]
+        # Write-ahead: flash knows the greet target before the radio does.
+        self.log.note_announced(station.node_id)
         self._transmit_registration()
 
     def _transmit_registration(self) -> None:
@@ -208,12 +326,26 @@ class MobileHost:
                 mh=self.node_id, old_mss=old_mss, seq=seq,
                 old_candidates=candidates))
         if self.greet_retry_interval > 0:
-            self._greet_timer.restart(self.greet_retry_interval)
+            self._greet_timer.restart(self._retry_interval())
+
+    def _retry_interval(self) -> float:
+        """Delay until the next registration retransmission.
+
+        Fixed at ``greet_retry_interval`` historically; with a backoff
+        cap the interval doubles per attempt and saturates at the cap,
+        so a blacked-out cell sees bounded greet pressure but recovery
+        latency after the blackout stays bounded too.
+        """
+        if self.greet_backoff_cap is None:
+            return self.greet_retry_interval
+        interval = self.greet_retry_interval * (2 ** min(self._reg_retries, 16))
+        return min(self.greet_backoff_cap, interval)
 
     def _retry_registration(self) -> None:
         """Retransmit the *same* incarnation until confirmed."""
         if self.registered or self.state is not MhState.ACTIVE:
             return
+        self._reg_retries += 1
         self.instr.metrics.incr("mh_registration_retries", node=self.node_id)
         self._transmit_registration()
 
@@ -233,6 +365,7 @@ class MobileHost:
                                        request_id=rid, service=service)
         msg = RequestMsg(mh=self.node_id, request_id=rid,
                          service=service, payload=payload)
+        self.log.note_issued(rid, service, payload)
         if not self.registered:
             self._queued_requests.append(msg)
         else:
@@ -287,6 +420,8 @@ class MobileHost:
         self.registered = True
         self.resp_mss = message.src
         self._confirmed_mss = message.src
+        self.log.note_confirmed(message.src)
+        self._reg_retries = 0
         self._greet_timer.cancel()
         queued, self._queued_requests = self._queued_requests, []
         for msg in queued:
@@ -309,6 +444,7 @@ class MobileHost:
             self._obs_fresh_delivery.inc()
             self._seen_deliveries.add(message.delivery_id)
             self._delivered_requests.add(message.request_id)
+            self.log.note_delivered(message.request_id)
             self.deliveries.append((self.sim.now, message.request_id, message.payload))
             if self.instr.recorder.wants("deliver"):
                 self.instr.recorder.record(self.sim.now, "deliver", self.node_id,

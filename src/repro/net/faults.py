@@ -1,4 +1,4 @@
-"""Deterministic fault injection for the wired fabric.
+"""Deterministic fault injection for the wired fabric and the radio last mile.
 
 The paper's assumption 1 makes the inter-MSS network reliable and
 causally ordered.  A :class:`FaultPlan` breaks the *reliable* half on
@@ -13,18 +13,48 @@ consulted by :class:`~repro.net.wired.WiredNetwork` once per transmitted
 frame; drops and duplicates are recorded by the tracer under the
 ``wired_drop`` / ``wired_dup`` kinds and counted by the
 :class:`~repro.net.monitor.NetworkMonitor`.
+
+:class:`WirelessFaultPlan` is the radio-side sibling (stream
+``faults.wireless``): loss bursts, congestion latency spikes, timed cell
+blackouts and per-MH hand-off blackout windows, consulted by
+:class:`~repro.net.wireless.WirelessChannel` and traced under the
+``wireless_drop`` / ``wireless_delay`` kinds.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
-from ..types import NodeId
+from ..types import CellId, NodeId
 
 # One partition window: the unordered link {a, b} is cut for t0 <= now < t1.
 PartitionWindow = Tuple[NodeId, NodeId, float, float]
+
+# One blackout window: every frame in `cell` is lost for t0 <= now < t1.
+BlackoutWindow = Tuple[CellId, float, float]
+
+
+def _check_windows(windows: Sequence[Tuple[Hashable, float, float]],
+                   what: str) -> None:
+    """Reject negative-duration and overlapping windows on the same key.
+
+    Shared by the wired and wireless plans: a schedule where two windows
+    on one link/cell overlap almost always means a typo in an experiment
+    config, and the resulting double-counted coverage is silent — fail
+    loudly at construction instead.
+    """
+    for key, t0, t1 in windows:
+        if t1 <= t0:
+            raise ConfigError(f"empty or negative {what} window "
+                              f"[{t0!r}, {t1!r}) on {key!r}")
+    ordered = sorted(windows, key=lambda w: (repr(w[0]), w[1], w[2]))
+    for (ka, a0, a1), (kb, b0, b1) in zip(ordered, ordered[1:]):
+        if ka == kb and b0 < a1:
+            raise ConfigError(
+                f"overlapping {what} windows on {ka!r}: "
+                f"[{a0!r}, {a1!r}) and [{b0!r}, {b1!r})")
 
 
 class FaultPlan:
@@ -89,6 +119,18 @@ class FaultPlan:
             raise ConfigError(f"loss probability {probability!r} out of [0, 1]")
         self.loss = probability
 
+    def validate(self) -> None:
+        """Reject schedules with overlapping partition windows per link.
+
+        Called once when a plan is built from a static spec; dynamically
+        added windows (the fuzzer cuts links mid-run) are exempt because
+        overlap there is a legitimate schedule, not a config typo.
+        """
+        _check_windows(
+            [(tuple(sorted((a, b))), t0, t1)
+             for a, b, t0, t1 in self._partitions],
+            "partition")
+
     # -- per-frame queries (called by WiredNetwork._transmit) ------------
 
     def cut(self, src: NodeId, dst: NodeId, now: float) -> bool:
@@ -126,4 +168,143 @@ class FaultPlan:
             "reorder": self.reorder,
             "reorder_spread": self.reorder_spread,
             "partitions": [list(window) for window in self._partitions],
+        }
+
+
+class WirelessFaultPlan:
+    """Seeded fault schedule for the radio last mile.
+
+    Four fault shapes, mirroring what MHs actually experience:
+
+    * **loss bursts** — radio fades arrive in runs, not independently:
+      each frame has a ``burst_probability`` chance of opening a fade of
+      ``burst_length`` seconds during which frames in that cell are lost
+      with probability ``burst_loss`` (default: all of them);
+    * **congestion spikes** — with ``congestion_probability`` a frame
+      pays ``congestion_delay`` extra seconds of latency (cell saturated
+      by other traffic), surfaced as a ``wireless_delay`` trace record;
+    * **timed cell blackouts** — absolute-time windows during which a
+      whole cell is dark (tower outage, tunnel);
+    * **hand-off blackouts** — for ``handoff_blackout`` seconds after an
+      MH switches cells its radio is retuning and every frame to or from
+      it is lost, the classic hand-off disconnection window.
+
+    Burst and blackout state is tracked per cell, hand-off state per
+    host.  All randomness draws from the plan's own stream (worlds
+    derive it as ``faults.wireless``), so the channel's pre-existing
+    ``latency.wireless`` stream sees exactly the historical draw
+    sequence and fault-free runs stay byte-identical.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss: float = 0.0,
+        burst_probability: float = 0.0,
+        burst_length: float = 0.0,
+        burst_loss: float = 1.0,
+        congestion_probability: float = 0.0,
+        congestion_delay: float = 0.0,
+        handoff_blackout: float = 0.0,
+        blackouts: Tuple[BlackoutWindow, ...] = (),
+    ) -> None:
+        for name, rate in (("loss", loss),
+                           ("burst_probability", burst_probability),
+                           ("burst_loss", burst_loss),
+                           ("congestion_probability", congestion_probability)):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"wireless fault {name} {rate!r} out of [0, 1]")
+        for name, duration in (("burst_length", burst_length),
+                               ("congestion_delay", congestion_delay),
+                               ("handoff_blackout", handoff_blackout)):
+            if duration < 0:
+                raise ConfigError(f"negative wireless {name} {duration!r}")
+        if burst_probability > 0.0 and burst_length == 0.0:
+            raise ConfigError("burst_probability set but burst_length is 0")
+        if congestion_probability > 0.0 and congestion_delay == 0.0:
+            raise ConfigError("congestion_probability set but congestion_delay is 0")
+        self.rng = rng
+        self.loss = loss
+        self.burst_probability = burst_probability
+        self.burst_length = burst_length
+        self.burst_loss = burst_loss
+        self.congestion_probability = congestion_probability
+        self.congestion_delay = congestion_delay
+        self.handoff_blackout = handoff_blackout
+        self._blackouts: List[BlackoutWindow] = []
+        for window in blackouts:
+            self.blackout(*window)
+        # Open fade per cell: cell -> absolute end time of the burst.
+        self._burst_until: Dict[CellId, float] = {}
+        # Retuning radio per host: host -> end of its hand-off blackout.
+        self._handoff_until: Dict[NodeId, float] = {}
+
+    # -- schedule construction -------------------------------------------
+
+    def blackout(self, cell: CellId, t0: float, t1: float) -> None:
+        """Darken *cell* for ``[t0, t1)`` (fuzzer ``cell_blackout`` op)."""
+        if t1 <= t0:
+            raise ConfigError(f"empty blackout window [{t0!r}, {t1!r})")
+        self._blackouts.append((cell, t0, t1))
+
+    def validate(self) -> None:
+        """Reject overlapping blackout windows on the same cell.
+
+        Like :meth:`FaultPlan.validate`, enforced for static specs only.
+        """
+        _check_windows(self._blackouts, "blackout")
+
+    def note_handoff(self, host_id: NodeId, now: float) -> None:
+        """An MH just switched cells: open its radio-retuning window."""
+        if self.handoff_blackout > 0.0:
+            self._handoff_until[host_id] = now + self.handoff_blackout
+
+    # -- per-frame queries (called by WirelessChannel) -------------------
+
+    def blacked_out(self, cell: CellId, now: float) -> bool:
+        for c, t0, t1 in self._blackouts:
+            if c == cell and t0 <= now < t1:
+                return True
+        return False
+
+    def in_handoff_blackout(self, host_id: NodeId, now: float) -> bool:
+        return now < self._handoff_until.get(host_id, 0.0)
+
+    def lost(self, cell: CellId, now: float) -> Optional[str]:
+        """Frame-loss verdict for one transmission in *cell*, or None.
+
+        Draw order (burst gate, then burst loss, then flat loss) is part
+        of the plan's determinism contract: every frame consults the
+        gates in the same sequence, so a given seed yields the same fade
+        schedule regardless of which checks short-circuit downstream.
+        """
+        if now < self._burst_until.get(cell, 0.0):
+            if self.rng.random() < self.burst_loss:
+                return "burst"
+        elif self.burst_probability > 0.0 and self.rng.random() < self.burst_probability:
+            self._burst_until[cell] = now + self.burst_length
+            if self.rng.random() < self.burst_loss:
+                return "burst"
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            return "fault_loss"
+        return None
+
+    def extra_delay(self) -> float:
+        if self.congestion_probability > 0.0 and self.rng.random() < self.congestion_probability:
+            return self.congestion_delay
+        return 0.0
+
+    # -- reporting --------------------------------------------------------
+
+    def describe(self) -> Dict[str, object]:
+        """Schedule parameters for experiment reports (stable keys)."""
+        return {
+            "loss": self.loss,
+            "burst_probability": self.burst_probability,
+            "burst_length": self.burst_length,
+            "burst_loss": self.burst_loss,
+            "congestion_probability": self.congestion_probability,
+            "congestion_delay": self.congestion_delay,
+            "handoff_blackout": self.handoff_blackout,
+            "blackouts": [list(window) for window in self._blackouts],
         }

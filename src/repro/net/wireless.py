@@ -20,6 +20,7 @@ from typing import Dict, Optional, Protocol
 from ..errors import NetworkError, UnknownNodeError
 from ..sim import Simulator, TraceRecorder
 from ..types import CellId, MhState, NodeId
+from .faults import WirelessFaultPlan
 from .latency import ConstantLatency, LatencyModel
 from .message import Message
 from .monitor import NetworkMonitor
@@ -66,6 +67,7 @@ class WirelessChannel:
         recorder: Optional[TraceRecorder] = None,
         monitor: Optional[NetworkMonitor] = None,
         bandwidth_bps: Optional[float] = None,
+        faults: Optional[WirelessFaultPlan] = None,
     ) -> None:
         # 1.0 is legal: a total blackout (every transmission lost).
         if not 0.0 <= loss_probability <= 1.0:
@@ -79,6 +81,9 @@ class WirelessChannel:
         self.recorder = recorder if recorder is not None else TraceRecorder(enabled=False)
         self.monitor = monitor if monitor is not None else NetworkMonitor()
         self.bandwidth_bps = bandwidth_bps
+        # Seeded radio-fault schedule; None (the default) keeps the
+        # channel on its historical draw sequence, byte for byte.
+        self.faults = faults
         self._stations: Dict[CellId, WirelessStation] = {}
         self._hosts: Dict[NodeId, WirelessHost] = {}
         # Per-cell medium: the time until which the cell is transmitting.
@@ -124,6 +129,35 @@ class WirelessChannel:
     def _lost(self) -> bool:
         return self.loss_probability > 0 and self.rng.random() < self.loss_probability
 
+    def note_handoff(self, host_id: NodeId) -> None:
+        """An MH just switched cells; opens its fault-plan blackout window."""
+        if self.faults is not None:
+            self.faults.note_handoff(host_id, self.sim.now)
+
+    def _fault_extra_delay(self, message: Message, sender: NodeId) -> float:
+        """Congestion spike from the fault plan, traced as ``wireless_delay``."""
+        if self.faults is None:
+            return 0.0
+        extra = self.faults.extra_delay()
+        if extra > 0.0 and self.recorder.wants("wireless_delay"):
+            self.recorder.record(
+                self.sim.now, "wireless_delay", sender,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                extra=extra,
+            )
+        return extra
+
+    def _fault_verdict(self, cell: CellId, host_id: NodeId) -> Optional[str]:
+        """Fault-plan loss verdict for one frame, or None to deliver."""
+        if self.faults is None:
+            return None
+        now = self.sim.now
+        if self.faults.blacked_out(cell, now):
+            return "blackout"
+        if self.faults.in_handoff_blackout(host_id, now):
+            return "handoff_blackout"
+        return self.faults.lost(cell, now)
+
     def downlink(self, station: WirelessStation, host_id: NodeId, message: Message) -> None:
         """One transmission attempt from *station* to *host_id*.
 
@@ -140,23 +174,38 @@ class WirelessChannel:
                 net=self.name, msg=message.kind, msg_id=message.msg_id, dst=host_id,
                 detail=message.describe(),
             )
-        delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
-                                                              message)
+        delay = (self.latency.sample(self.rng)
+                 + self._airtime(station.cell_id, message)
+                 + self._fault_extra_delay(message, station.node_id))
+        # Whether the host could receive this frame *as sent*: if it goes
+        # inactive while the frame is in flight, the drop is a distinct
+        # fault (host_inactive) rather than the ordinary send-to-sleeping
+        # case the proxy already expects.
+        deliverable = (host.state is MhState.ACTIVE
+                       and host.current_cell == station.cell_id)
         # Events carry ids, never live endpoints: the station and host are
         # re-resolved at delivery time so a scheduled frame holds no alias
         # that could dangle across a shard boundary (SHD006).
         self.sim.schedule(delay, self._deliver_downlink, station.cell_id,
-                          host_id, message, label=f"wl-down:{message.kind}")
+                          host_id, message, deliverable,
+                          label=f"wl-down:{message.kind}")
 
     def _deliver_downlink(self, cell: CellId, host_id: NodeId,
-                          message: Message) -> None:
+                          message: Message, was_deliverable: bool = False) -> None:
         station = self.station_of(cell)
         host = self.host(host_id)
         if host.state is not MhState.ACTIVE:
-            self._drop(message, "inactive")
+            if was_deliverable:
+                self._drop(message, "host_inactive", kind="wireless_drop")
+            else:
+                self._drop(message, "inactive")
             return
         if host.current_cell != station.cell_id:
             self._drop(message, "not_in_cell")
+            return
+        verdict = self._fault_verdict(cell, host_id)
+        if verdict is not None:
+            self._drop(message, verdict, kind="wireless_drop")
             return
         if self._lost():
             self._drop(message, "loss")
@@ -186,13 +235,19 @@ class WirelessChannel:
                 net=self.name, msg=message.kind, msg_id=message.msg_id, dst=station.node_id,
                 detail=message.describe(),
             )
-        delay = self.latency.sample(self.rng) + self._airtime(station.cell_id,
-                                                              message)
+        delay = (self.latency.sample(self.rng)
+                 + self._airtime(station.cell_id, message)
+                 + self._fault_extra_delay(message, host.node_id))
         self.sim.schedule(delay, self._deliver_uplink, station.cell_id,
-                          message, label=f"wl-up:{message.kind}")
+                          host.node_id, message, label=f"wl-up:{message.kind}")
 
-    def _deliver_uplink(self, cell: CellId, message: Message) -> None:
+    def _deliver_uplink(self, cell: CellId, host_id: NodeId,
+                        message: Message) -> None:
         station = self.station_of(cell)
+        verdict = self._fault_verdict(cell, host_id)
+        if verdict is not None:
+            self._drop(message, verdict, kind="wireless_drop")
+            return
         if self._lost():
             self._drop(message, "loss")
             return
@@ -205,10 +260,10 @@ class WirelessChannel:
             )
         station.on_wireless_message(message)
 
-    def _drop(self, message: Message, reason: str) -> None:
+    def _drop(self, message: Message, reason: str, kind: str = "drop") -> None:
         self.monitor.on_drop(self.name, message, reason)
-        if self.recorder.wants("drop"):
+        if self.recorder.wants(kind):
             self.recorder.record(
-                self.sim.now, "drop", message.dst or "?",
+                self.sim.now, kind, message.dst or "?",
                 net=self.name, msg=message.kind, msg_id=message.msg_id, reason=reason,
             )

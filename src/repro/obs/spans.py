@@ -261,8 +261,8 @@ class SpanBuilder:
     #: Record kinds the builder consumes — pass as the recorder's kinds
     #: whitelist so an observe run keeps nothing it doesn't need.
     KINDS = frozenset({
-        "request", "send", "recv", "drop", "wired_drop", "deliver",
-        "proxy_admit", "proxy_ack", "retransmit",
+        "request", "send", "recv", "drop", "wired_drop", "wireless_drop",
+        "deliver", "proxy_admit", "proxy_ack", "retransmit",
         "handoff_start", "handoff_done",
     })
 
@@ -293,7 +293,7 @@ class SpanBuilder:
             self._ingest_proxy_admit(rec)
         elif kind == "retransmit":
             self._ingest_retransmit(rec)
-        elif kind in ("drop", "wired_drop"):
+        elif kind in ("drop", "wired_drop", "wireless_drop"):
             self._ingest_drop(rec)
         elif kind == "handoff_done":
             self._ingest_handoff_done(rec)

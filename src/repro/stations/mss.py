@@ -96,6 +96,18 @@ class MssConfig:
     # event-driven proxy; fault-injected worlds enable it so a crashed
     # respMss cannot orphan a result forever (see core/proxy.py).
     proxy_ack_timeout: Optional[float] = None
+    # MSS-side redelivery over the *wireless* leg: re-downlink a result
+    # whose Ack has not come back after this long, with exponential
+    # backoff capped at 4x and a bounded attempt budget — the respMss
+    # covering radio fades locally instead of waiting out the proxy's
+    # (much slower) end-to-end ack timeout.  None keeps the paper's
+    # fire-and-forget downlink.
+    wireless_ack_timeout: Optional[float] = None
+    wireless_redelivery_attempts: int = 6
+    # Bound on proxy result custody: a held result older than this is
+    # discarded with a custody_expired trace (see core/proxy.py).  None
+    # keeps custody forever (the paper's unbounded result store).
+    proxy_custody_ttl: Optional[float] = None
     # Proxy migration (future-work extension): when the MH's proxy sits
     # at least this many distance units away, the respMss pulls it over.
     # None disables (the paper's behaviour).  ``station_distance`` is
@@ -174,6 +186,9 @@ class MobileSupportStation:
         # forwarding stubs left behind for proxies that moved away.
         self._migrations_inflight: Set[NodeId] = set()
         self._proxy_stubs: Dict[ProxyId, ProxyRef] = {}
+        # Wireless-leg redelivery: per (mh, request_id) the last result
+        # frame downlinked, the attempt count, and the armed timer event.
+        self._wireless_pending: Dict[tuple, list] = {}
         # Failed full custody chases per (mh, seq): after two, the state
         # is presumed destroyed (MSS crash) and the MH registers fresh.
         self._failed_acquisitions: Dict[tuple, int] = {}
@@ -354,6 +369,7 @@ class MobileSupportStation:
             self.sim, self, mh, proxy_id, self.instr,
             send_server_acks=self.config.send_server_acks,
             ack_timeout=self.config.proxy_ack_timeout,
+            custody_ttl=self.config.proxy_custody_ttl,
             currentloc=currentloc,
         )
         self.proxies[proxy_id] = proxy
@@ -394,6 +410,7 @@ class MobileSupportStation:
             self.instr.metrics.incr("mh_left_with_pending", node=self.node_id)
         self.local_mhs.discard(msg.mh)
         self._reg_seqs.pop(msg.mh, None)
+        self._cancel_wireless_redelivery(msg.mh)
         self.instr.metrics.incr("mh_leaves", node=self.node_id)
         self.instr.recorder.record(self.sim.now, "deregister", self.node_id,
                                    mh=msg.mh, how="leave")
@@ -492,9 +509,11 @@ class MobileSupportStation:
             # the update, saving its retransmissions.
             for message in list(retained.values()):
                 self.instr.metrics.incr("retained_redeliveries", node=self.node_id)
-                self._downlink(mh, WirelessResultMsg(
+                frame = WirelessResultMsg(
                     mh=mh, request_id=message.request_id,
-                    delivery_id=message.delivery_id, payload=message.payload))
+                    delivery_id=message.delivery_id, payload=message.payload)
+                self._downlink(mh, frame)
+                self._arm_wireless_redelivery(mh, frame)
             self._deferred_updates[mh] = pref.ref
             self.sim.schedule(self.config.retain_update_fallback,
                               self._flush_deferred_update, mh,
@@ -614,6 +633,7 @@ class MobileSupportStation:
         # the new MSS's update (RDP's hand-off stays pref-only).
         self._retained.pop(mh, None)
         self._deferred_updates.pop(mh, None)
+        self._cancel_wireless_redelivery(mh)
         extra_bytes = self._handoff_extra_bytes(mh)
         pref = self.prefs.pop(mh)
         self.local_mhs.discard(mh)
@@ -859,6 +879,7 @@ class MobileSupportStation:
             self.sim, self, msg.mh, msg.new_proxy_id, self.instr,
             send_server_acks=self.config.send_server_acks,
             ack_timeout=self.config.proxy_ack_timeout,
+            custody_ttl=self.config.proxy_custody_ttl,
         )
         proxy.import_state(msg.state)
         self.proxies[msg.new_proxy_id] = proxy
@@ -912,6 +933,9 @@ class MobileSupportStation:
         self._reg_seqs.clear()
         self._retained.clear()
         self._deferred_updates.clear()
+        for entry in self._wireless_pending.values():
+            entry[2].cancel()
+        self._wireless_pending.clear()
 
     def restart(self) -> None:
         """Reboot after :meth:`crash` with empty volatile state.
@@ -963,6 +987,20 @@ class MobileSupportStation:
 
     # -- results and acks ------------------------------------------------------
 
+    def _record_adoption(self, mh: NodeId, proxy_id: str, how: str) -> None:
+        """Trace a pref-ref (re)designation outside the hand-off path.
+
+        The oracle's single-proxy checker reads these rows as the
+        authoritative 'this proxy serves this MH now' signal — after an
+        MSS-amnesia fork the custody chain can heal in the *older*
+        proxy's favour, and without this row the healing looks like a
+        superseded proxy going rogue.
+        """
+        if self.instr.recorder.wants("proxy_adopt"):
+            self.instr.recorder.record(self.sim.now, "proxy_adopt",
+                                       self.node_id, mh=mh,
+                                       proxy_id=proxy_id, how=how)
+
     def _on_result_forward(self, msg: ResultForwardMsg) -> None:
         mh = msg.mh
         if mh not in self.local_mhs:
@@ -981,6 +1019,7 @@ class MobileSupportStation:
         if pref.ref is None:
             pref.ref = msg.proxy_ref
             self.instr.metrics.incr("prefs_rebuilt", node=self.node_id)
+            self._record_adoption(mh, msg.proxy_ref.proxy_id, "rebuild")
         elif pref.ref != msg.proxy_ref and not pref.creating:
             local = (self.proxies.get(pref.ref.proxy_id)
                      if pref.ref.mss == self.node_id else None)
@@ -998,6 +1037,7 @@ class MobileSupportStation:
                 # migrated); adopt it so Acks stop detouring via the stub.
                 pref.ref = msg.proxy_ref
                 self.instr.metrics.incr("prefs_refreshed", node=self.node_id)
+                self._record_adoption(mh, msg.proxy_ref.proxy_id, "refresh")
         if not foreign:  # a foreign forward must not touch the owner's books
             if msg.del_pref and not self.config.persistent_proxies:
                 pref.rkpr = True
@@ -1013,6 +1053,70 @@ class MobileSupportStation:
             self.instr.metrics.incr("results_retained", node=self.node_id)
             return
         self._downlink(mh, wireless_result)
+        if not foreign:
+            self._arm_wireless_redelivery(mh, wireless_result)
+
+    # -- wireless-leg redelivery ------------------------------------------------
+
+    def _arm_wireless_redelivery(self, mh: NodeId,
+                                 message: WirelessResultMsg) -> None:
+        """Watch one downlinked result until its Ack comes back.
+
+        The respMss covers radio fades locally: the proxy's end-to-end
+        ``proxy_ack_timeout`` still backstops everything, but it is slow
+        by design (it crosses the wired fabric); this loop retries the
+        one hop that actually failed.  Backoff doubles per attempt,
+        capped at 4x the base timeout, with a bounded attempt budget.
+        """
+        if self.config.wireless_ack_timeout is None:
+            return
+        key = (mh, message.request_id)
+        entry = self._wireless_pending.get(key)
+        if entry is not None:
+            # A fresh forward supersedes the old frame (new delivery id)
+            # and restarts the local schedule.
+            entry[2].cancel()
+        event = self.sim.schedule(self.config.wireless_ack_timeout,
+                                  self._wireless_redeliver, mh,
+                                  message.request_id,
+                                  label="mss:wl-redeliver")
+        self._wireless_pending[key] = [message, 0, event]
+
+    def _wireless_redeliver(self, mh: NodeId, request_id: RequestId) -> None:
+        key = (mh, request_id)
+        entry = self._wireless_pending.get(key)
+        if entry is None or self.down:
+            return
+        message, attempts, _event = entry
+        pref = self.prefs.get(mh)
+        if (mh not in self.local_mhs or pref is None
+                or request_id not in pref.outstanding):
+            # Acked, handed off, or gone: nothing left to redeliver.
+            del self._wireless_pending[key]
+            return
+        attempts += 1
+        entry[1] = attempts
+        # The metrics bridge exports this as rdp_wireless_redeliveries_total.
+        self.instr.metrics.incr("wireless_redeliveries", node=self.node_id)
+        if self.instr.recorder.wants("wireless_redelivery"):
+            self.instr.recorder.record(
+                self.sim.now, "wireless_redelivery", self.node_id,
+                mh=mh, request_id=request_id, attempt=attempts)
+        self._downlink(mh, message)
+        if attempts >= self.config.wireless_redelivery_attempts:
+            # Budget exhausted: the proxy's end-to-end timeout takes over.
+            del self._wireless_pending[key]
+            return
+        base = self.config.wireless_ack_timeout
+        delay = min(base * (2 ** attempts), 4 * base)
+        entry[2] = self.sim.schedule(delay, self._wireless_redeliver, mh,
+                                     request_id, label="mss:wl-redeliver")
+
+    def _cancel_wireless_redelivery(self, mh: NodeId,
+                                    request_id: Optional[RequestId] = None) -> None:
+        for key in [k for k in self._wireless_pending
+                    if k[0] == mh and (request_id is None or k[1] == request_id)]:
+            self._wireless_pending.pop(key)[2].cancel()
 
     def _host_in_cell(self, mh: NodeId) -> bool:
         """Radio-level knowledge: is the MH physically in our cell?"""
@@ -1044,6 +1148,7 @@ class MobileSupportStation:
         if pref.ref is None:
             pref.ref = msg.proxy_ref
             self.instr.metrics.incr("prefs_rebuilt", node=self.node_id)
+            self._record_adoption(mh, msg.proxy_ref.proxy_id, "rebuild")
         pref.rkpr = True
         if (self.config.proxy_ack_timeout is not None
                 and not pref.outstanding and not pref.creating):
@@ -1076,6 +1181,7 @@ class MobileSupportStation:
             return
         pref = self.prefs.ensure(mh)
         pref.outstanding.discard(msg.request_id)
+        self._cancel_wireless_redelivery(mh, msg.request_id)
         retained = self._retained.get(mh)
         if retained is not None:
             retained.pop(msg.request_id, None)

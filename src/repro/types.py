@@ -53,12 +53,20 @@ def is_server(node: NodeId) -> bool:
 
 
 class MhState(Enum):
-    """Life-cycle states of a mobile host (paper, Section 2)."""
+    """Life-cycle states of a mobile host (paper, Section 2).
+
+    DOZING and CRASHED extend the paper: doze is a radio-off power state
+    (volatile state kept, like INACTIVE but entered deliberately with
+    pending work), crash loses all volatile state — only the durable
+    client log (``hosts/clientlog.py``) survives until ``recover``.
+    """
 
     ACTIVE = "active"
     INACTIVE = "inactive"
     MIGRATING = "migrating"
     LEFT = "left"
+    DOZING = "dozing"
+    CRASHED = "crashed"
 
 
 @dataclass(frozen=True, slots=True)

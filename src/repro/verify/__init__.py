@@ -13,6 +13,7 @@ from .oracle import (
     ExactlyOnceDelivery,
     InvariantChecker,
     InvariantViolation,
+    NoCustodyLeak,
     NoLostResult,
     Oracle,
     PrefHandoverConsistency,
@@ -40,6 +41,7 @@ __all__ = [
     "ExactlyOnceDelivery",
     "InvariantChecker",
     "InvariantViolation",
+    "NoCustodyLeak",
     "NoLostResult",
     "Oracle",
     "PrefHandoverConsistency",

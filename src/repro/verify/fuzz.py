@@ -26,7 +26,7 @@ from random import Random
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import DirectDeliveryMss, ItcpLikeMss, mobile_ip_config
-from ..config import LatencySpec, WiredFaultSpec, WorldConfig
+from ..config import LatencySpec, WiredFaultSpec, WirelessFaultSpec, WorldConfig
 from ..errors import ConfigError
 from ..net.latency import ExponentialLatency
 from ..types import MhState
@@ -42,14 +42,19 @@ PROTOCOLS = ("rdp", "mobile_ip", "itcp", "direct")
 _OPS = ("migrate", "deactivate", "activate", "request", "burst", "resend")
 
 # Extra ops available under the fault profile: MSS crash/restart cycles,
-# timed wired partitions and mid-run loss-rate changes.
-_FAULT_OPS = _OPS + ("crash", "partition", "wired_loss")
+# timed wired partitions, mid-run loss-rate changes, and the last-mile
+# lifecycle faults — MH crash/recover, doze/wake, and cell blackouts.
+_FAULT_OPS = _OPS + ("crash", "partition", "wired_loss",
+                     "mh_crash", "mh_doze", "cell_blackout")
 
 # How long a fuzzed crash keeps its station down / a fuzzed partition
 # keeps its link cut.  Short enough for the retry/backoff machinery to
 # bridge within the drain budget, long enough to actually hurt.
 _CRASH_DOWNTIME = 2.0
 _PARTITION_LENGTH = 3.0
+_MH_DOWNTIME = 2.0
+_DOZE_LENGTH = 2.5
+_BLACKOUT_LENGTH = 2.0
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,13 @@ class FuzzProfile:
     # defaults keep old repro files loading unchanged).
     wired_loss: float = 0.0
     wired_dup: float = 0.0
+    # Wireless (last-mile) fault rates — same contract: zero defaults so
+    # pre-wireless repro files load unchanged, drawn only under the
+    # fault profile and strictly after every older draw.
+    wireless_fault_loss: float = 0.0
+    wireless_burst: float = 0.0
+    wireless_congestion: float = 0.0
+    wireless_handoff_blackout: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -149,7 +161,16 @@ def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
             wired_loss=round(rng.uniform(0.05, 0.30), 3),
             wired_dup=rng.choice((0.0, 0.05, 0.1)),
         )
-    pool, weights = ((_FAULT_OPS, (30, 15, 15, 30, 5, 5, 4, 4, 3))
+        # Wireless draws sit strictly after the wired ones (same reason:
+        # they must not perturb the wired-era draw sequence).
+        profile = replace(
+            profile,
+            wireless_fault_loss=round(rng.uniform(0.0, 0.15), 3),
+            wireless_burst=rng.choice((0.0, 0.01, 0.03)),
+            wireless_congestion=rng.choice((0.0, 0.05, 0.10)),
+            wireless_handoff_blackout=rng.choice((0.0, 0.0, 0.2)),
+        )
+    pool, weights = ((_FAULT_OPS, (30, 15, 15, 30, 5, 5, 4, 4, 3, 4, 4, 3))
                      if config.fault_profile else
                      (_OPS, (30, 15, 15, 30, 5, 5)))
     ops: List[FuzzOp] = []
@@ -170,6 +191,10 @@ def generate_case(seed: int, config: Optional[FuzzConfig] = None) -> FuzzCase:
                 arg = rng.randrange(config.n_cells)
             elif kind == "wired_loss":
                 arg = rng.randrange(40)
+            elif kind in ("mh_crash", "cell_blackout"):
+                # mh_crash: the cell the host recovers in (often not the
+                # one it crashed in — custody must chase it there).
+                arg = rng.randrange(config.n_cells)
             ops.append(FuzzOp(time=t, op=kind, host=host, arg=arg))
     ops.sort(key=lambda o: (o.time, o.host, o.op, -1 if o.arg is None else o.arg))
     return FuzzCase(seed=seed, profile=profile, config=config, ops=tuple(ops))
@@ -190,6 +215,22 @@ def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
             or profile.wired_dup):
         faults = WiredFaultSpec(loss=profile.wired_loss,
                                 duplication=profile.wired_dup)
+    # Fault-profile worlds always carry a wireless plan — even at zero
+    # rates — so the cell_blackout op has something to drive, and so the
+    # MSS wireless-leg redelivery timer is armed for every faulted run.
+    wireless_faults = None
+    if case.config.fault_profile or any((
+            profile.wireless_fault_loss, profile.wireless_burst,
+            profile.wireless_congestion, profile.wireless_handoff_blackout)):
+        wireless_faults = WirelessFaultSpec(
+            loss=profile.wireless_fault_loss,
+            burst_probability=profile.wireless_burst,
+            burst_length=1.5,
+            burst_loss=0.9,
+            congestion_probability=profile.wireless_congestion,
+            congestion_delay=0.1,
+            handoff_blackout=profile.wireless_handoff_blackout,
+        )
     config = WorldConfig(
         seed=case.seed,
         n_cells=case.config.n_cells,
@@ -199,6 +240,13 @@ def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
         wireless_latency=LatencySpec(mean=0.005),
         wireless_loss=profile.wireless_loss,
         wired_faults=faults,
+        wireless_faults=wireless_faults,
+        # A lossy radio with the redelivery timer unarmed is the paper's
+        # fire-and-forget respMss: one lost wireless Ack strands proxy
+        # custody forever, and the no-custody-leak invariant rightly
+        # flags it.  Arm the wireless-leg timer whenever the flat legacy
+        # loss knob is live (a WirelessFaultSpec already auto-arms it).
+        wireless_ack_timeout=3.0 if profile.wireless_loss > 0 else None,
         ack_delay=profile.ack_delay,
         proc_delay=profile.proc_delay,
         ordering=case.config.ordering,
@@ -221,6 +269,18 @@ def build_fuzz_world(case: FuzzCase, protocol: str) -> World:
         world.add_host(f"mh{h}", world.cells[h % case.config.n_cells],
                        retry_interval=retry)
     return world
+
+
+def _recover_mh_later(world: World, host: str, cell_index: int) -> None:
+    """Guarded delayed recovery: only if the host is still crashed (the
+    schedule may contain a later mh_crash or the drain got there first)."""
+    if world.hosts[host].state is MhState.CRASHED:
+        world.recover_mh(host, world.cells[cell_index % len(world.cells)])
+
+
+def _wake_mh_later(world: World, host: str) -> None:
+    if world.hosts[host].state is MhState.DOZING:
+        world.wake_mh(host)
 
 
 def _execute(world: World, op: FuzzOp) -> None:
@@ -269,6 +329,22 @@ def _execute(world: World, op: FuzzOp) -> None:
         plan = world.wired.faults
         if plan is not None:
             plan.set_loss(((op.arg or 0) % 35) / 100.0)
+    elif op.op == "mh_crash":
+        if host.state not in (MhState.LEFT, MhState.CRASHED):
+            host.crash()
+            world.sim.schedule(_MH_DOWNTIME, _recover_mh_later, world,
+                               op.host, op.arg or 0, label="fuzz:mh-recover")
+    elif op.op == "mh_doze":
+        if host.state is MhState.ACTIVE:
+            host.doze()
+            world.sim.schedule(_DOZE_LENGTH, _wake_mh_later, world, op.host,
+                               label="fuzz:mh-wake")
+    elif op.op == "cell_blackout":
+        plan = world.wireless.faults
+        if plan is not None:
+            cell = world.cells[(op.arg or 0) % len(world.cells)]
+            plan.blackout(cell, world.sim.now,
+                          world.sim.now + _BLACKOUT_LENGTH)
     else:  # pragma: no cover - generate_case only emits known ops
         raise ConfigError(f"unknown fuzz op {op.op!r}")
 
@@ -298,6 +374,10 @@ def _drain(world: World, rounds: int, window: float) -> None:
     for host in world.hosts.values():
         if host.state is MhState.INACTIVE:
             host.activate()
+        elif host.state is MhState.DOZING:
+            host.wake()
+        elif host.state is MhState.CRASHED:
+            host.recover(host.current_cell)
     world.sim.run(until=world.sim.now + window)
     stale = 0
     previous = (_outstanding(world), _live_proxies(world))
@@ -311,6 +391,12 @@ def _drain(world: World, rounds: int, window: float) -> None:
         for host in world.hosts.values():
             if host.state is MhState.INACTIVE:
                 host.activate()
+            elif host.state is MhState.DOZING:
+                host.wake()
+            elif host.state is MhState.CRASHED:
+                # A scheduled mh_crash can land mid-drain; the guarded
+                # recovery callback then finds it already recovered.
+                host.recover(host.current_cell)
         world.sim.run(until=world.sim.now + window)
         progress = (_outstanding(world), _live_proxies(world))
         stale = stale + 1 if progress == previous else 0

@@ -15,7 +15,13 @@ just enough state to decide one protocol guarantee:
 * :class:`SafeProxyDeletion` — a proxy is only deleted once every request
   it admitted has been acknowledged (Section 3.3's del-pref / RKpR /
   del-proxy guarantee); custody transfers (``proxy_move``) re-home the
-  outstanding set instead of discharging it;
+  outstanding set instead of discharging it, and a bounded-custody
+  ``custody_expired`` discharges its request explicitly;
+* :class:`NoCustodyLeak` — every result a proxy takes custody of
+  (``proxy_result``) is eventually discharged: acknowledged by the MH
+  (``proxy_ack``), expired by the custody TTL (``custody_expired``),
+  re-homed by a migration, or lost with the crashing MSS — never
+  silently stranded in a live result store;
 * :class:`CausalWiredOrder` — wired deliveries respect the causal order
   of their sends (assumption 1), checked with vector clocks rebuilt from
   the trace alone;
@@ -81,7 +87,14 @@ class InvariantChecker:
 
 
 class ExactlyOnceDelivery(InvariantChecker):
-    """No MH delivers the same request's result to the application twice."""
+    """No MH delivers the same request's result to the application twice.
+
+    The delivered-set deliberately survives ``mh_crash``/``mh_recover``
+    rows: exactly-once is a promise *across* the crash — the recovering
+    host must restore its dedup set from the durable client log, and a
+    redelivered result slipping past an amnesiac recovery is exactly the
+    bug this checker exists to catch.
+    """
 
     name = "exactly_once_delivery"
 
@@ -136,6 +149,15 @@ class SingleProxyPerSeries(InvariantChecker):
         super().__init__()
         self._open: Dict[str, Set[str]] = {}
         self._condemned: Set[Tuple[str, str]] = set()
+        # Proxies superseded by a fork *designation* (hand-off ref or
+        # pref adoption) rather than by ordinary successor creation.
+        # They lost a custody race that only exists because an MSS crash
+        # erased the registration state that would have coordinated
+        # their del-proxy — nobody references them anymore, so the
+        # deletion-liveness check cannot demand the impossible.  They
+        # must still never admit, and NoCustodyLeak still audits what
+        # they hold.
+        self._fork_losers: Set[Tuple[str, str]] = set()
         self._host_of: Dict[str, str] = {}
 
     def on_record(self, rec: TraceRecord) -> None:
@@ -152,6 +174,7 @@ class SingleProxyPerSeries(InvariantChecker):
             pid = str(rec.get("proxy_id"))
             self._open.get(mh, set()).discard(pid)
             self._condemned.discard((mh, pid))
+            self._fork_losers.discard((mh, pid))
             self._host_of.pop(pid, None)
         elif kind == "proxy_admit":
             key = (str(rec.get("mh")), str(rec.get("proxy_id")))
@@ -159,6 +182,26 @@ class SingleProxyPerSeries(InvariantChecker):
                 self.fail(rec.time,
                           f"superseded proxy {key[1]} of {key[0]} admitted "
                           f"request {rec.get('request_id')}")
+        elif kind in ("handoff_done", "proxy_adopt"):
+            # A completed hand-off or an explicit pref-ref adoption
+            # designates its proxy ref as THE serving proxy.  After an
+            # MSS-amnesia fork (a blind registration spun up a successor
+            # while the old proxy survived elsewhere) the custody chain
+            # can heal in the *older* proxy's favour — reinstate it and
+            # condemn any other survivor instead.
+            pid = rec.get("proxy_id")
+            if pid is None:
+                return
+            pid = str(pid)
+            mh = str(rec.get("mh"))
+            open_set = self._open.get(mh, set())
+            if pid in open_set:
+                for other in open_set:
+                    if other != pid:
+                        self._condemned.add((mh, other))
+                        self._fork_losers.add((mh, other))
+                self._condemned.discard((mh, pid))
+                self._fork_losers.discard((mh, pid))
         elif kind == "mss_crash":
             # An injected crash loses proxy state without delete records;
             # the invariant restarts for proxies hosted at that station.
@@ -170,9 +213,15 @@ class SingleProxyPerSeries(InvariantChecker):
                     open_set.discard(pid)
                 self._condemned = {(mh, p) for (mh, p) in self._condemned
                                    if p not in dead}
+                self._fork_losers = {(mh, p) for (mh, p) in self._fork_losers
+                                     if p not in dead}
 
     def finish(self, time: float) -> None:
         for mh, pid in sorted(self._condemned):
+            if (mh, pid) in self._fork_losers:
+                # An orphan stub of an MSS-amnesia fork: the state that
+                # would have driven its del-proxy died with the crash.
+                continue
             self.fail(time, f"superseded proxy {pid} of {mh} never deleted")
 
 
@@ -209,6 +258,12 @@ class SafeProxyDeletion(InvariantChecker):
             pid = str(rec.get("proxy_id"))
             self._outstanding.get(pid, set()).discard(
                 str(rec.get("request_id")))
+        elif kind == "custody_expired":
+            # Bounded custody explicitly abandons the request: the record
+            # is gone from the proxy, so a later delete does not strand it.
+            pid = str(rec.get("proxy_id"))
+            self._outstanding.get(pid, set()).discard(
+                str(rec.get("request_id")))
         elif kind == "proxy_move":
             old = str(rec.get("proxy_id"))
             new = str(rec.get("new_proxy_id"))
@@ -226,6 +281,81 @@ class SafeProxyDeletion(InvariantChecker):
                         if node == rec.node]:
                 self._outstanding.pop(pid, None)
                 del self._host_of[pid]
+
+
+class NoCustodyLeak(InvariantChecker):
+    """Every result a proxy takes custody of is eventually discharged.
+
+    Custody begins at ``proxy_result`` (the proxy stored a server result
+    for a possibly-unreachable MH) and must end in one of four ways:
+
+    * ``proxy_ack`` — the MH acknowledged the delivery (the normal path);
+    * ``custody_expired`` — the bounded-custody TTL fired and the store
+      explicitly gave the result up;
+    * a migration — ``proxy_move`` re-homes the custody set onto the new
+      ``proxy_id`` (re-attached at the destination's ``proxy_create``);
+    * ``mss_crash`` of the hosting station — volatile custody dies with
+      its holder.
+
+    Anything still held at ``finish`` (after the run was driven to
+    quiescence) is a custody leak: a result pinned forever in a live
+    store with no delivery, expiry, or hand-off in sight.  A
+    ``proxy_delete`` that still holds custody is the same leak caught
+    earlier (and also trips :class:`SafeProxyDeletion`).
+    """
+
+    name = "no_custody_leak"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._custody: Dict[str, Dict[str, float]] = {}
+        self._in_transfer: Dict[str, Dict[str, float]] = {}
+        self._host_of: Dict[str, str] = {}
+        self._mh_of: Dict[str, str] = {}
+
+    def on_record(self, rec: TraceRecord) -> None:
+        kind = rec.kind
+        if kind == "proxy_create":
+            pid = str(rec.get("proxy_id"))
+            moved = self._in_transfer.pop(pid, {})
+            self._custody.setdefault(pid, {}).update(moved)
+            self._host_of[pid] = rec.node
+            self._mh_of[pid] = str(rec.get("mh"))
+        elif kind == "proxy_result":
+            pid = str(rec.get("proxy_id"))
+            self._custody.setdefault(pid, {}).setdefault(
+                str(rec.get("request_id")), rec.time)
+        elif kind in ("proxy_ack", "custody_expired"):
+            pid = str(rec.get("proxy_id"))
+            self._custody.get(pid, {}).pop(str(rec.get("request_id")), None)
+        elif kind == "proxy_move":
+            old = str(rec.get("proxy_id"))
+            new = str(rec.get("new_proxy_id"))
+            self._in_transfer[new] = self._custody.pop(old, {})
+        elif kind == "proxy_delete":
+            pid = str(rec.get("proxy_id"))
+            held = self._custody.pop(pid, {})
+            self._host_of.pop(pid, None)
+            mh = self._mh_of.pop(pid, None)
+            if held:
+                self.fail(rec.time,
+                          f"proxy {pid} of {mh} deleted while still holding "
+                          f"custody of {len(held)} results: {sorted(held)}")
+        elif kind == "mss_crash":
+            for pid in [p for p, node in self._host_of.items()
+                        if node == rec.node]:
+                self._custody.pop(pid, None)
+                del self._host_of[pid]
+                self._mh_of.pop(pid, None)
+
+    def finish(self, time: float) -> None:
+        leaks = [(since, pid, rid)
+                 for pid, held in self._custody.items()
+                 for rid, since in held.items()]
+        for since, pid, rid in sorted(leaks):
+            self.fail(time,
+                      f"proxy {pid} of {self._mh_of.get(pid)} still holds "
+                      f"custody of result {rid} taken at t={since:.4f}")
 
 
 class CausalWiredOrder(InvariantChecker):
@@ -343,6 +473,7 @@ def default_checkers() -> List[InvariantChecker]:
         NoLostResult(),
         SingleProxyPerSeries(),
         SafeProxyDeletion(),
+        NoCustodyLeak(),
         CausalWiredOrder(),
         PrefHandoverConsistency(),
     ]

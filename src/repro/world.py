@@ -39,7 +39,7 @@ from .net.latency import (
     NormalLatency,
     UniformLatency,
 )
-from .net.faults import FaultPlan
+from .net.faults import FaultPlan, WirelessFaultPlan
 from .net.wired import WiredNetwork
 from .net.wireless import WirelessChannel
 from .servers.base import AppServer
@@ -110,6 +110,24 @@ class World:
                     (NodeId(a), NodeId(b), t0, t1)
                     for a, b, t0, t1 in spec.partitions),
             )
+            faults.validate()
+        wireless_faults: Optional[WirelessFaultPlan] = None
+        if self.config.wireless_faults is not None:
+            wspec = self.config.wireless_faults
+            wireless_faults = WirelessFaultPlan(
+                rng=self.rng.stream("faults.wireless"),
+                loss=wspec.loss,
+                burst_probability=wspec.burst_probability,
+                burst_length=wspec.burst_length,
+                burst_loss=wspec.burst_loss,
+                congestion_probability=wspec.congestion_probability,
+                congestion_delay=wspec.congestion_delay,
+                handoff_blackout=wspec.handoff_blackout,
+                blackouts=tuple(
+                    (CellId(cell), t0, t1)
+                    for cell, t0, t1 in wspec.blackouts),
+            )
+            wireless_faults.validate()
         self.wired = WiredNetwork(
             self.sim,
             latency=build_latency(self.config.wired_latency),
@@ -134,6 +152,7 @@ class World:
             recorder=self.instruments.recorder,
             monitor=self.instruments.monitor,
             bandwidth_bps=self.config.wireless_bandwidth_bps,
+            faults=wireless_faults,
         )
 
         self.stations: Dict[CellId, MobileSupportStation] = {}
@@ -155,6 +174,8 @@ class World:
                 self.config.proxy_ack_timeout
                 if self.config.proxy_ack_timeout is not None
                 else (5.0 if self.config.wired_faults is not None else None)),
+            wireless_ack_timeout=self._wireless_ack_timeout(),
+            proxy_custody_ttl=self.config.proxy_custody_ttl,
             proxy_migrate_distance=self.config.proxy_migrate_distance,
             station_distance=(self._station_distance
                               if self.config.proxy_migrate_distance else None),
@@ -167,6 +188,26 @@ class World:
             )
             self.stations[cell] = station
             self._node_positions[station.node_id] = self.cell_map.position(cell)
+
+    def _wireless_ack_timeout(self) -> Optional[float]:
+        """Resolve the auto/off semantics of ``wireless_ack_timeout``."""
+        value = self.config.wireless_ack_timeout
+        if value is None:
+            return 3.0 if self.config.wireless_faults is not None else None
+        return value if value > 0 else None
+
+    def _greet_backoff_cap(self) -> Optional[float]:
+        """Resolve the auto semantics of ``greet_backoff_cap``.
+
+        Backoff only engages when a radio fault plan is present: in clean
+        worlds the legacy fixed retry interval keeps historical event
+        schedules (and therefore BENCH determinism) byte-identical.
+        """
+        if self.config.greet_backoff_cap is not None:
+            return self.config.greet_backoff_cap
+        if self.config.wireless_faults is not None:
+            return 8.0 * self.config.greet_retry_interval
+        return None
 
     # -- placement ----------------------------------------------------------------
 
@@ -246,6 +287,32 @@ class World:
         station.restart()
         return station
 
+    def crash_mh(self, name: str) -> MobileHost:
+        """Crash a mobile host: volatile state is lost, the durable
+        client log survives.  Bring it back with :meth:`recover_mh`."""
+        host = self.hosts[name]
+        host.crash()
+        return host
+
+    def recover_mh(self, name: str, cell: CellId) -> MobileHost:
+        """Recover a crashed host in *cell*: re-register, replay the
+        durable log's unanswered requests, dedup redeliveries."""
+        host = self.hosts[name]
+        host.recover(cell)
+        return host
+
+    def doze_mh(self, name: str) -> MobileHost:
+        """Put a host into doze mode (radio off, state kept)."""
+        host = self.hosts[name]
+        host.doze()
+        return host
+
+    def wake_mh(self, name: str) -> MobileHost:
+        """Wake a dozing host; it re-registers in its current cell."""
+        host = self.hosts[name]
+        host.wake()
+        return host
+
     def add_server(self, name: str, server_class: Type[AppServer] = AppServer,
                    **kwargs: Any) -> AppServer:
         if name in self.servers:
@@ -266,6 +333,7 @@ class World:
             self.sim, name, self.wireless,
             instruments=self.instruments,
             greet_retry_interval=self.config.greet_retry_interval,
+            greet_backoff_cap=self._greet_backoff_cap(),
             ack_delay=self.config.ack_delay,
         )
         self.hosts[name] = host

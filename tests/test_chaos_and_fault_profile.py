@@ -98,6 +98,27 @@ def test_chaos_transport_ablation_block(smoke_result):
                for loss in ablation["losses"])
 
 
+def test_chaos_wireless_ablation_block(smoke_result):
+    """The last-mile acceptance criterion: with the full robustness
+    stack (durable log, custody, redelivery) every issued request is
+    delivered despite three mid-flight MH crashes and cell blackouts;
+    amnesiac recovery with custody/redelivery disabled shows measurable
+    loss."""
+    ablation = smoke_result["determinism"]["wireless_ablation"]
+    arms = {arm["arm"]: arm for arm in ablation["arms"]}
+    assert set(arms) == {"recovery", "no_recovery"}
+    recovery, bare = arms["recovery"], arms["no_recovery"]
+    assert recovery["requests"] == bare["requests"] > 0
+    assert recovery["delivery_ratio"] == 1.0
+    assert bare["delivery_ratio"] < 1.0
+    # The machinery must actually have run, not merely been configured.
+    assert recovery["recoveries"] == len(ablation["crash_schedule"])
+    assert recovery["redeliveries"] > 0
+    assert recovery["custody_expired"] == 0
+    # And the bare arm must show WHY it lost: expired custody.
+    assert bare["custody_expired"] > 0 and bare["redeliveries"] == 0
+
+
 def test_chaos_legacy_transport_still_survives():
     """--transport legacy is the measured baseline, not a tombstone: the
     full chaos scenario must still run clean under it."""
@@ -150,6 +171,33 @@ def test_mutation_broken_retransmit_timer_caught_and_shrunk(
     case, protocol = load_case(failure.repro_path)
     replay = run_case(case, protocol)
     assert replay.invariants_hit() == failure.invariants
+
+
+def test_mutation_recovery_without_dedup_caught_and_shrunk(
+        tmp_path, monkeypatch):
+    """Strip the dedup restore out of the MH recovery handshake: a
+    result the custody chase redelivers after an mh_crash is accepted
+    twice, the exactly-once invariant fires, and ddmin shrinks the
+    failing schedule to a replayable repro."""
+    from repro.hosts.mobile_host import MobileHost
+
+    original = MobileHost.recover
+
+    def forgetful(self, cell, amnesia=False):
+        original(self, cell, amnesia=amnesia)
+        self._delivered_requests = set()   # forget the log's dedup set
+
+    monkeypatch.setattr(MobileHost, "recover", forgetful)
+    campaign = run_campaign(seeds=12, base_seed=0,
+                            config=FuzzConfig(fault_profile=True),
+                            shrink=True, out_dir=tmp_path)
+    assert not campaign.ok
+    failure = next(f for f in campaign.failures
+                   if "exactly_once_delivery" in f.invariants)
+    original_case = generate_case(failure.seed, FuzzConfig(fault_profile=True))
+    assert len(failure.shrunk.ops) <= len(original_case.ops)
+    case, protocol = load_case(failure.repro_path)
+    assert run_case(case, protocol).invariants_hit() == failure.invariants
 
 
 def test_mutation_healthy_code_passes_saved_shape():

@@ -413,12 +413,14 @@ def test_reverting_wireless_to_object_capture_flips_shd006(
     wireless = mutable_tree / "net" / "wireless.py"
     text = wireless.read_text()
     fixed = ("self.sim.schedule(delay, self._deliver_uplink, station.cell_id,\n"
-             "                          message, label=f\"wl-up:{message.kind}\")")
+             "                          host.node_id, message, "
+             "label=f\"wl-up:{message.kind}\")")
     assert fixed in text
     wireless.write_text(text.replace(
         fixed,
         "self.sim.schedule(delay, self._deliver_uplink_obj, station,\n"
-        "                          message, label=f\"wl-up:{message.kind}\")"))
+        "                          host.node_id, message, "
+        "label=f\"wl-up:{message.kind}\")"))
 
     code, out = _analyze_out(mutable_tree, capsys)
     assert code == 1

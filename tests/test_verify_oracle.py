@@ -14,6 +14,7 @@ from repro.verify import (
     CausalWiredOrder,
     ExactlyOnceDelivery,
     InvariantViolation,
+    NoCustodyLeak,
     NoLostResult,
     Oracle,
     PrefHandoverConsistency,
@@ -141,6 +142,89 @@ class TestSafeProxyDeletion:
             (3.1, "proxy_delete", "mss:s1", {"mh": "mh:a", "proxy_id": "px2"}),
         ]
         assert run_synthetic(SafeProxyDeletion(), rows) == []
+
+
+class TestNoCustodyLeak:
+    CREATE = (1.0, "proxy_create", "mss:s0", {"mh": "mh:a", "proxy_id": "px1"})
+    RESULT = (2.0, "proxy_result", "mss:s0",
+              {"mh": "mh:a", "proxy_id": "px1", "request_id": "a-r1"})
+
+    def test_acked_custody_is_clean(self):
+        rows = [self.CREATE, self.RESULT,
+                (3.0, "proxy_ack", "mss:s0",
+                 {"mh": "mh:a", "proxy_id": "px1", "request_id": "a-r1"})]
+        assert run_synthetic(NoCustodyLeak(), rows) == []
+
+    def test_custody_held_at_finish_flagged(self):
+        violations = run_synthetic(NoCustodyLeak(), [self.CREATE, self.RESULT])
+        assert [v.invariant for v in violations] == ["no_custody_leak"]
+        assert "a-r1" in str(violations[0])
+
+    def test_expiry_discharges_custody(self):
+        rows = [self.CREATE, self.RESULT,
+                (4.0, "custody_expired", "mss:s0",
+                 {"mh": "mh:a", "proxy_id": "px1", "request_id": "a-r1",
+                  "age": 2.0})]
+        assert run_synthetic(NoCustodyLeak(), rows) == []
+
+    def test_deletion_while_holding_custody_flagged(self):
+        rows = [self.CREATE, self.RESULT,
+                (3.0, "proxy_delete", "mss:s0",
+                 {"mh": "mh:a", "proxy_id": "px1"})]
+        violations = run_synthetic(NoCustodyLeak(), rows)
+        assert [v.invariant for v in violations] == ["no_custody_leak"]
+        assert "deleted while still holding" in str(violations[0])
+
+    def test_migration_rehomes_custody(self):
+        rows = [self.CREATE, self.RESULT,
+                (3.0, "proxy_move", "mss:s0",
+                 {"mh": "mh:a", "proxy_id": "px1", "to": "mss:s1",
+                  "new_proxy_id": "px2"}),
+                (3.0, "proxy_delete", "mss:s0",
+                 {"mh": "mh:a", "proxy_id": "px1"}),
+                (3.1, "proxy_create", "mss:s1",
+                 {"mh": "mh:a", "proxy_id": "px2"}),
+                (4.0, "proxy_ack", "mss:s1",
+                 {"mh": "mh:a", "proxy_id": "px2", "request_id": "a-r1"})]
+        assert run_synthetic(NoCustodyLeak(), rows) == []
+
+    def test_mss_crash_absolves_volatile_custody(self):
+        rows = [self.CREATE, self.RESULT,
+                (3.0, "mss_crash", "mss:s0", {})]
+        assert run_synthetic(NoCustodyLeak(), rows) == []
+
+
+class TestProxyAdoption:
+    """MSS-amnesia forks: pref-ref adoption designates the serving proxy
+    and the orphan stub is exempt from deletion-liveness (but must still
+    never admit)."""
+
+    FORK = [
+        (1.0, "proxy_create", "mss:s0", {"mh": "mh:a", "proxy_id": "px1"}),
+        # s0 crashed and forgot; blind re-registration forks the series.
+        (2.0, "proxy_create", "mss:s1", {"mh": "mh:a", "proxy_id": "px2"}),
+    ]
+
+    def test_adoption_reinstates_old_proxy_and_absolves_stub(self):
+        rows = self.FORK + [
+            # The pref chain heals by re-designating the ORIGINAL proxy.
+            (3.0, "proxy_adopt", "mss:s0", {"mh": "mh:a", "proxy_id": "px1",
+                                            "how": "refresh"}),
+            (4.0, "proxy_admit", "mss:s0",
+             {"mh": "mh:a", "proxy_id": "px1", "request_id": "a-r2"}),
+        ]
+        # px2 is the fork's orphan stub: never deleted, yet not a leak.
+        assert run_synthetic(SingleProxyPerSeries(), rows) == []
+
+    def test_fork_loser_admitting_still_flagged(self):
+        rows = self.FORK + [
+            (3.0, "proxy_adopt", "mss:s0", {"mh": "mh:a", "proxy_id": "px1",
+                                            "how": "refresh"}),
+            (4.0, "proxy_admit", "mss:s1",
+             {"mh": "mh:a", "proxy_id": "px2", "request_id": "a-r2"}),
+        ]
+        violations = run_synthetic(SingleProxyPerSeries(), rows, finish=False)
+        assert [v.invariant for v in violations] == ["single_proxy_per_series"]
 
 
 class TestCausalWiredOrder:
@@ -315,7 +399,7 @@ class TestMutations:
 
         from repro.verify import FuzzConfig, generate_case, run_case
 
-        case = generate_case(0, FuzzConfig(ordering="raw"))
+        case = generate_case(2, FuzzConfig(ordering="raw"))
         case = replace(case, profile=replace(case.profile, wired_jitter=0.008))
         result = run_case(case, "rdp")
         assert "causal_wired_order" in result.invariants_hit()

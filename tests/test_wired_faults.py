@@ -67,6 +67,64 @@ def test_fault_plan_validates_rates():
         plan.set_loss(2.0)
 
 
+def test_fault_plan_validate_rejects_overlapping_partitions():
+    a, b = NodeId("mss:a"), NodeId("mss:b")
+    plan = FaultPlan(random.Random(0),
+                     partitions=((a, b, 10.0, 20.0), (b, a, 15.0, 25.0)))
+    with pytest.raises(ConfigError, match="overlapping partition windows"):
+        plan.validate()  # same undirected link, windows overlap
+    # Touching windows and other links are fine.
+    ok = FaultPlan(random.Random(0), partitions=(
+        (a, b, 10.0, 20.0), (a, b, 20.0, 25.0),
+        (a, NodeId("mss:c"), 12.0, 18.0)))
+    ok.validate()
+
+
+def test_fault_plan_validate_exempts_dynamic_windows():
+    """Mid-run cuts (the fuzzer's wired_loss/partition ops) may overlap;
+    only the static spec is validated at world build time."""
+    a, b = NodeId("mss:a"), NodeId("mss:b")
+    plan = FaultPlan(random.Random(0), partitions=((a, b, 10.0, 20.0),))
+    plan.validate()
+    plan.partition(a, b, 15.0, 30.0)  # dynamic overlap: legal schedule
+    assert plan.cut(a, b, 25.0)
+
+
+def test_wireless_plan_validate_rejects_overlapping_blackouts():
+    from repro.net.faults import WirelessFaultPlan
+    plan = WirelessFaultPlan(random.Random(0), blackouts=(
+        (CellId("cell0"), 5.0, 10.0), (CellId("cell0"), 8.0, 12.0)))
+    with pytest.raises(ConfigError, match="overlapping blackout windows"):
+        plan.validate()
+    ok = WirelessFaultPlan(random.Random(0), blackouts=(
+        (CellId("cell0"), 5.0, 10.0), (CellId("cell0"), 10.0, 12.0),
+        (CellId("cell1"), 6.0, 9.0)))
+    ok.validate()
+
+
+def test_fault_window_negative_durations_rejected():
+    a, b = NodeId("mss:a"), NodeId("mss:b")
+    with pytest.raises(ConfigError, match="empty partition window"):
+        FaultPlan(random.Random(0), partitions=((a, b, 5.0, 4.0),))
+    from repro.net.faults import WirelessFaultPlan
+    with pytest.raises(ConfigError, match="empty blackout window"):
+        WirelessFaultPlan(random.Random(0),
+                          blackouts=((CellId("cell0"), 3.0, 3.0),))
+
+
+def test_world_rejects_overlapping_static_windows():
+    """The world validates both static plans at build time, so a config
+    typo dies loudly instead of silently double-counting windows."""
+    from repro.config import WirelessFaultSpec
+    with pytest.raises(ConfigError, match="overlapping partition windows"):
+        make_world(wired_faults=WiredFaultSpec(partitions=(
+            (mss_id("s0"), mss_id("s1"), 1.0, 5.0),
+            (mss_id("s1"), mss_id("s0"), 4.0, 8.0))))
+    with pytest.raises(ConfigError, match="overlapping blackout windows"):
+        make_world(wireless_faults=WirelessFaultSpec(blackouts=(
+            ("cell1", 1.0, 5.0), ("cell1", 2.0, 3.0))))
+
+
 def test_fault_plan_partition_windows():
     a, b, c = NodeId("mss:a"), NodeId("mss:b"), NodeId("mss:c")
     plan = FaultPlan(random.Random(0), partitions=((a, b, 10.0, 20.0),))
@@ -271,8 +329,9 @@ class _Host:
 
 def test_every_wireless_drop_reason_counted_and_traced_once():
     """Each downlink drop reason — ``inactive``, ``not_in_cell``,
-    ``loss`` — shows up exactly once in the monitor counters AND exactly
-    once as a trace row for a scenario constructed to hit each once."""
+    ``loss``, plus the mid-flight ``host_inactive`` fault — shows up
+    exactly once in the monitor counters AND exactly once as a trace row
+    for a scenario constructed to hit each once."""
     sim = Simulator()
     recorder = TraceRecorder()
     channel = WirelessChannel(sim, latency=ConstantLatency(0.005),
@@ -282,9 +341,10 @@ def test_every_wireless_drop_reason_counted_and_traced_once():
     host = _Host("mh:m", "cell0")
     channel.register_host(host)
 
-    # 1: inactive — the host deactivates while the frame is in the air.
-    channel.downlink(station, host.node_id, _Ping(tag="to-sleeper"))
+    # 1: inactive — the host was already asleep when the frame was sent
+    # (the ordinary send-to-sleeping case the proxy expects).
     host.state = MhState.INACTIVE
+    channel.downlink(station, host.node_id, _Ping(tag="to-sleeper"))
     sim.run()
     host.state = MhState.ACTIVE
 
@@ -300,14 +360,25 @@ def test_every_wireless_drop_reason_counted_and_traced_once():
     sim.run()
     channel.loss_probability = 0.0
 
+    # 4: host_inactive — deliverable at send time, deactivated while the
+    # frame was in the air: a distinct wireless_drop, not plain inactive.
+    channel.downlink(station, host.node_id, _Ping(tag="to-dozer"))
+    host.state = MhState.INACTIVE
+    sim.run()
+    host.state = MhState.ACTIVE
+
     assert host.received == []
     for reason in ("inactive", "not_in_cell", "loss"):
         assert channel.monitor.drops_of(channel.name, reason=reason) == 1, reason
         rows = [r for r in recorder.filter(kind="drop")
                 if r.get("reason") == reason]
         assert len(rows) == 1, reason
+    assert channel.monitor.drops_of(channel.name, reason="host_inactive") == 1
+    wireless_rows = recorder.filter(kind="wireless_drop")
+    assert len(wireless_rows) == 1
+    assert wireless_rows[0].get("reason") == "host_inactive"
     # Nothing else was dropped, and the totals agree with the rows.
-    assert channel.monitor.drops_of(channel.name) == 3
+    assert channel.monitor.drops_of(channel.name) == 4
     assert len(recorder.filter(kind="drop")) == 3
 
 
