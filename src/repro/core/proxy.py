@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional, Protocol, Set
 
 from ..errors import ProxyError
 from ..instruments import Instruments
-from ..sim import Simulator
+from ..engine import Engine
 from ..types import NodeId, ProxyId, ProxyRef, RequestId
 from .protocol import (
     AckForwardMsg,
@@ -93,7 +93,7 @@ class Proxy:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         host: ProxyHost,
         mh: NodeId,
         proxy_id: ProxyId,
@@ -128,6 +128,7 @@ class Proxy:
         self.requestlist: Dict[RequestId, RequestRecord] = {}
         self.completed: Set[RequestId] = set()
         self._bounce_retries: Set[RequestId] = set()
+        self._bounce_timers: Dict[RequestId, Any] = {}
         self._ack_timers: Dict[RequestId, Any] = {}
         self._custody_timers: Dict[RequestId, Any] = {}
         self.deleted = False
@@ -298,11 +299,12 @@ class Proxy:
         self._bounce_retries.add(request_id)
         delay = min(_BOUNCE_RETRY_CAP,
                     _BOUNCE_RETRY_BASE * (2 ** min(record.forward_count, 6)))
-        self.sim.schedule(delay, self._bounce_retry, request_id,
-                          label="proxy:bounce-retry")
+        self._bounce_timers[request_id] = self.sim.schedule(
+            delay, self._bounce_retry, request_id, label="proxy:bounce-retry")
 
     def _bounce_retry(self, request_id: RequestId) -> None:
         self._bounce_retries.discard(request_id)
+        self._bounce_timers.pop(request_id, None)
         record = self.requestlist.get(request_id)
         if self.deleted or record is None or not record.result_received:
             return  # acked (or the proxy died) while we waited
@@ -324,6 +326,7 @@ class Proxy:
             custody_timer = self._custody_timers.pop(msg.request_id, None)
             if custody_timer is not None:
                 custody_timer.cancel()
+            self._cancel_redelivery(msg.request_id)
             if record.custody_since is not None:
                 self._obs_custody_age.observe(self.sim.now - record.custody_since)
             self.completed.add(msg.request_id)
@@ -397,6 +400,7 @@ class Proxy:
         timer = self._ack_timers.pop(request_id, None)
         if timer is not None:
             timer.cancel()
+        self._cancel_redelivery(request_id)
         age = self.sim.now - (record.custody_since or self.created_at)
         self._obs_custody_age.observe(age)
         self.instr.metrics.incr("proxy_custody_expired", node=self.host.node_id)
@@ -458,6 +462,24 @@ class Proxy:
         for timer in self._custody_timers.values():
             timer.cancel()
         self._custody_timers.clear()
+        for timer in self._bounce_timers.values():
+            timer.cancel()
+        self._bounce_timers.clear()
+        self._bounce_retries.clear()
+
+    def _cancel_redelivery(self, request_id: RequestId) -> None:
+        """Disarm a pending bounce/transport redelivery for one request.
+
+        Symmetric with the ack/custody timers: under the simulator a
+        stale redelivery event was harmless (the ``_bounce_retry`` guard
+        re-checks the record), but under a wall-clock engine an
+        uncancelled timer keeps the event loop alive and fires after the
+        proxy's state moved on — cancellation semantics must be
+        identical under both engines."""
+        self._bounce_retries.discard(request_id)
+        timer = self._bounce_timers.pop(request_id, None)
+        if timer is not None:
+            timer.cancel()
 
     def _maybe_signal_last_pending(self) -> None:
         """Figure 4's special message: when an Ack leaves exactly one

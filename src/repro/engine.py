@@ -1,0 +1,60 @@
+"""The execution-engine interface protocol classes program against.
+
+Every protocol entity (MSS, proxy, mobile host, server, client API)
+interacts with time exclusively through two operations: read the current
+time and schedule a cancellable callback.  :class:`Engine` captures that
+contract as a structural protocol so the same entity code runs under two
+engines:
+
+* the deterministic discrete-event :class:`~repro.sim.simulator.Simulator`
+  (simulated time, the default everywhere);
+* the wall-clock :class:`~repro.live.engine.AsyncioEngine` (real time over
+  an asyncio event loop, one engine per live process — see
+  ``docs/LIVE.md``).
+
+The protocol is deliberately the *intersection* of what entities use —
+``now`` plus ``schedule`` returning a cancellable handle.  Kernel-only
+surface (``run``, ``run_until_idle``, ``schedule_at``, event counters)
+stays on the concrete :class:`Simulator`; harness code that drives a run
+keeps depending on the concrete engine it built.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class ScheduledEvent(Protocol):
+    """Handle for one scheduled callback: cancellable, idempotently.
+
+    Satisfied by :class:`~repro.sim.event.Event` (simulated time) and
+    :class:`~repro.live.engine.LiveEvent` (asyncio timer).  ``cancel``
+    after the callback fired (or after a previous cancel) is a no-op;
+    a cancelled event's callback never runs.
+    """
+
+    cancelled: bool
+
+    def cancel(self) -> None: ...
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """Clock plus scheduler: what protocol entities need from time.
+
+    ``schedule`` must reject negative delays (both engines raise
+    :class:`~repro.errors.SchedulingError`) so an entity bug surfaces
+    identically under simulation and on the wire.
+    """
+
+    @property
+    def now(self) -> float: ...
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> ScheduledEvent: ...

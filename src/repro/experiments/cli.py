@@ -37,6 +37,7 @@ from ..errors import ConfigError
 from ..verify import fuzz as fuzz_mod
 from . import bench as bench_mod
 from . import chaos as chaos_mod
+from . import live as live_mod
 from . import observe as observe_mod
 from ._timing import wall_clock
 
@@ -200,6 +201,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="reliable transport to run the scenario under: "
                             "selective-repeat (default) or the stop-and-wait "
                             "baseline (see docs/TRANSPORT.md)")
+    live = sub.add_parser(
+        "live", help="run RDP over real loopback UDP sockets and "
+                     "cross-validate against the simulator "
+                     "(see docs/LIVE.md)")
+    live.add_argument("--preset", choices=sorted(live_mod.PRESETS),
+                      default="smoke",
+                      help="cluster scenario (default smoke; the CI gate)")
+    live.add_argument("--out", type=pathlib.Path, default=None,
+                      help="cross-validation report file (default: "
+                           "LIVE_crossval.json at the repo root)")
+    live.add_argument("--quiet", action="store_true",
+                      help="suppress the human-readable summary")
     analyze = sub.add_parser(
         "analyze", help="run the AST-based protocol-conformance and "
                         "determinism passes (see docs/STATIC_ANALYSIS.md)")
@@ -431,6 +444,8 @@ def main(argv: List[str] | None = None) -> int:
         return run_observe(args)
     if args.command == "chaos":
         return run_chaos(args)
+    if args.command == "live":
+        return live_mod.run_live(args)
     if args.command == "analyze":
         return run_analyze(args)
 

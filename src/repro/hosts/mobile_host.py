@@ -37,7 +37,8 @@ from ..errors import ProtocolError
 from ..instruments import Instruments
 from ..net.message import Message
 from ..net.wireless import WirelessChannel
-from ..sim import Simulator, Timer
+from ..engine import Engine
+from ..sim import Timer
 from ..types import CellId, MhState, NodeId, RequestId, mh_id
 from .clientlog import ClientLog
 
@@ -49,7 +50,7 @@ class MobileHost:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         name: str,
         wireless: WirelessChannel,
         instruments: Optional[Instruments] = None,

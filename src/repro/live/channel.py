@@ -1,0 +1,153 @@
+"""Fault shaping for the live backend, draw-compatible with the sim.
+
+Two halves:
+
+* :func:`build_wired_plan` / :func:`build_wireless_plan` reproduce — bit
+  for bit — how :class:`repro.world.World` derives its fault plans from
+  a root seed (the ``faults.wired`` / ``faults.wireless`` substreams of
+  :class:`~repro.sim.rng.RngStreams`).  A live cluster and its sim twin
+  therefore consult *identical* fault schedules for identical query
+  sequences; ``tests/test_live_channel.py`` pins that parity.
+
+* :class:`InboundShaper` applies the wired plan on the **receive** side
+  of the UDP transport, consulting the plan in the same order as
+  :meth:`repro.net.wired.WiredNetwork._transmit` (cut, then loss, then
+  duplication, then the extra-delay draws) so the draw sequence is part
+  of the same determinism contract.  A shaped drop simply goes
+  unacknowledged — the sender's timeout-driven retransmission is then a
+  *genuine* wire-level retry, not an emulated one.
+
+:class:`WirelessShaper` is the radio-side sibling, applied in the driver
+process where the mobile hosts (and hence the hand-off blackout state)
+live; its verdict order mirrors
+:meth:`repro.net.wireless.WirelessChannel._fault_verdict` followed by
+the channel's flat loss draw.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import WiredFaultSpec, WirelessFaultSpec
+from ..net.faults import FaultPlan, WirelessFaultPlan
+from ..sim.rng import RngStreams
+from ..types import CellId, NodeId
+
+
+def build_wired_plan(seed: int,
+                     spec: Optional[WiredFaultSpec]) -> Optional[FaultPlan]:
+    """The :class:`~repro.world.World` recipe, minus the world."""
+    if spec is None or not spec.active:
+        return None
+    plan = FaultPlan(
+        rng=RngStreams(seed).stream("faults.wired"),
+        loss=spec.loss,
+        duplication=spec.duplication,
+        spike_probability=spec.spike_probability,
+        spike=spec.spike,
+        reorder=spec.reorder,
+        reorder_spread=spec.reorder_spread,
+        partitions=tuple(
+            (NodeId(a), NodeId(b), t0, t1)
+            for a, b, t0, t1 in spec.partitions),
+    )
+    plan.validate()
+    return plan
+
+
+def build_wireless_plan(
+        seed: int,
+        spec: Optional[WirelessFaultSpec]) -> Optional[WirelessFaultPlan]:
+    """The radio-side twin of :func:`build_wired_plan`."""
+    if spec is None or not spec.active:
+        return None
+    plan = WirelessFaultPlan(
+        rng=RngStreams(seed).stream("faults.wireless"),
+        loss=spec.loss,
+        burst_probability=spec.burst_probability,
+        burst_length=spec.burst_length,
+        burst_loss=spec.burst_loss,
+        congestion_probability=spec.congestion_probability,
+        congestion_delay=spec.congestion_delay,
+        handoff_blackout=spec.handoff_blackout,
+        blackouts=tuple(
+            (CellId(cell), t0, t1) for cell, t0, t1 in spec.blackouts),
+    )
+    plan.validate()
+    return plan
+
+
+@dataclass
+class ShapeVerdict:
+    """One inbound datagram's fate under the wired plan."""
+
+    deliver: bool
+    reason: str = ""
+    duplicate: bool = False
+    extra_delay: float = 0.0
+
+
+class InboundShaper:
+    """Receiver-side wired fault shaping for one live process."""
+
+    def __init__(self, plan: Optional[FaultPlan]) -> None:
+        self.plan = plan
+
+    def verdict(self, src: NodeId, dst: NodeId, now: float) -> ShapeVerdict:
+        plan = self.plan
+        if plan is None:
+            return ShapeVerdict(deliver=True)
+        if plan.cut(src, dst, now):
+            return ShapeVerdict(deliver=False, reason="partition")
+        if plan.lost():
+            return ShapeVerdict(deliver=False, reason="loss")
+        duplicate = plan.duplicated()
+        if duplicate:
+            # The sim draws an extra delay for the duplicate's arrival
+            # before the main copy's — consume it to keep draw parity.
+            plan.extra_delay()
+        return ShapeVerdict(deliver=True, duplicate=duplicate,
+                            extra_delay=plan.extra_delay())
+
+
+class WirelessShaper:
+    """Driver-side radio shaping: fault plan plus the flat loss draw."""
+
+    def __init__(self, plan: Optional[WirelessFaultPlan],
+                 loss_probability: float = 0.0,
+                 rng: Optional[random.Random] = None) -> None:
+        self.plan = plan
+        self.loss_probability = loss_probability
+        self.rng = rng if rng is not None else random.Random(0)
+
+    def note_handoff(self, host_id: NodeId, now: float) -> None:
+        if self.plan is not None:
+            self.plan.note_handoff(host_id, now)
+
+    def verdict(self, cell: CellId, host_id: NodeId,
+                now: float) -> Optional[str]:
+        """Loss verdict for one frame, or None to deliver.
+
+        Plan verdicts (``blackout``/``handoff_blackout``/``burst``/
+        ``fault_loss``) map to the ``wireless_drop`` trace kind like the
+        sim's; the flat ``loss`` draw maps to plain ``drop``.
+        """
+        if self.plan is not None:
+            if self.plan.blacked_out(cell, now):
+                return "blackout"
+            if self.plan.in_handoff_blackout(host_id, now):
+                return "handoff_blackout"
+            verdict = self.plan.lost(cell, now)
+            if verdict is not None:
+                return verdict
+        if self.loss_probability > 0 \
+                and self.rng.random() < self.loss_probability:
+            return "loss"
+        return None
+
+    def extra_delay(self) -> float:
+        if self.plan is None:
+            return 0.0
+        return self.plan.extra_delay()

@@ -1,0 +1,533 @@
+"""UDP transports behind the sim network interfaces.
+
+Three adapters, each implementing exactly the structural surface the
+protocol entities already program against:
+
+* :class:`LiveWiredTransport` — the inter-station fabric.  Reliable
+  delivery over lossy loopback UDP: per-destination sequence numbers,
+  receiver-side dedup plus re-ack, sender-side retransmission driven by
+  a real :class:`~repro.net.reliable.RtoEstimator` on wall-clock RTT
+  samples (Karn's rule: only never-retransmitted frames feed the
+  estimator) with :class:`~repro.net.reliable.RetryPolicy` jitter, and
+  the same ``delivery_failed`` → ``on_delivery_failure`` escalation the
+  sim transport performs when the retry budget runs out.  Inbound frames
+  pass through an :class:`~repro.live.channel.InboundShaper`: a shaped
+  drop is simply never acknowledged, so what the trace records as
+  ``wired_retx`` is a real datagram hitting the wire again.
+
+* :class:`LiveWirelessStationSide` — what an MSS process sees of the
+  radio.  Downlink is fire-and-forget (one datagram to the driver,
+  faithful to the paper's single-attempt respMss); ``host()`` raises
+  :class:`~repro.errors.UnknownNodeError` because radio-level host state
+  lives in the driver process — the MSS call sites already treat that
+  surface as optional knowledge (``_host_in_cell`` et al. catch and
+  degrade).
+
+* :class:`LiveWirelessHostSide` — what the driver process (hosting the
+  MHs) sees of the radio.  Uplink state checks, cell resolution, and
+  the delivery-time checks of the sim channel (inactive host, wrong
+  cell, fault verdicts) are mirrored here, where the host objects live.
+
+All three record the same trace kinds with the same fields as their sim
+counterparts, which is what lets ``obs/spans.py`` and the invariant
+oracle consume a merged live trace unmodified.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..errors import NetworkError, UnknownNodeError
+from ..net.message import Message
+from ..net.monitor import NetworkMonitor
+from ..net.reliable import RetryPolicy, RtoEstimator
+from ..net.wireless import WirelessHost, WirelessStation
+from ..sim.tracing import TraceRecorder
+from ..types import CellId, MhState, NodeId
+from .channel import InboundShaper, WirelessShaper
+from .codec import (
+    CodecError,
+    encode_envelope,
+    message_from_obj,
+    message_to_obj,
+)
+from .engine import AsyncioEngine
+
+Address = Tuple[str, int]
+
+#: Hard ceiling on wire-level attempts per frame, independent of the
+#: retry policy (which tops out at RetryPolicy.max_retries anyway).
+DEFAULT_MAX_ATTEMPTS = 20
+
+
+class _PendingFrame:
+    """Sender-side state for one unacknowledged wired frame."""
+
+    __slots__ = ("data", "message", "src", "dst", "attempts", "timer",
+                 "first_sent", "retransmitted")
+
+    def __init__(self, data: bytes, message: Message, src: NodeId,
+                 dst: NodeId, first_sent: float) -> None:
+        self.data = data
+        self.message = message
+        self.src = src
+        self.dst = dst
+        self.attempts = 1
+        self.timer: Optional[Any] = None
+        self.first_sent = first_sent
+        self.retransmitted = False
+
+
+class LiveWiredTransport:
+    """Reliable wired fabric over one process's UDP socket."""
+
+    name = "wired"
+
+    def __init__(
+        self,
+        engine: AsyncioEngine,
+        sock: Any,
+        addresses: Dict[NodeId, Address],
+        rng: Optional[random.Random] = None,
+        recorder: Optional[TraceRecorder] = None,
+        monitor: Optional[NetworkMonitor] = None,
+        shaper: Optional[InboundShaper] = None,
+        policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.engine = engine
+        self.sock = sock
+        self.addresses = dict(addresses)
+        self.rng = rng if rng is not None else random.Random(0)
+        self.recorder = (recorder if recorder is not None
+                         else TraceRecorder(enabled=False))
+        self.monitor = monitor if monitor is not None else NetworkMonitor()
+        self.shaper = shaper if shaper is not None else InboundShaper(None)
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._nodes: Dict[NodeId, Any] = {}
+        self._down: Set[NodeId] = set()
+        # Sender side: next seq and in-flight frames per (src, dst) flow.
+        self._next_seq: Dict[Tuple[NodeId, NodeId], int] = {}
+        self._pending: Dict[Tuple[NodeId, NodeId, int], _PendingFrame] = {}
+        self._rto: Dict[NodeId, RtoEstimator] = {}
+        # Receiver side: seqs already dispatched per (src, dst) flow.
+        self._seen: Dict[Tuple[NodeId, NodeId], Set[int]] = {}
+        self.retransmissions = 0
+        self.duplicates_absorbed = 0
+        self.delivery_failures = 0
+        self.send_errors = 0
+
+    # -- topology ----------------------------------------------------------
+
+    def attach(self, node: Any) -> None:
+        self._nodes[node.node_id] = node
+
+    def station_ids(self) -> List[NodeId]:
+        """Every station in the cluster, from the address map (sorted)."""
+        return [node for node in sorted(self.addresses)
+                if str(node).startswith("mss:")]
+
+    def set_down(self, node_id: NodeId) -> None:
+        self._down.add(node_id)
+
+    def set_up(self, node_id: NodeId) -> None:
+        self._down.discard(node_id)
+
+    def is_down(self, node_id: NodeId) -> bool:
+        return node_id in self._down
+
+    # -- send path ---------------------------------------------------------
+
+    def send(self, src: NodeId, dst: NodeId, message: Message) -> None:
+        if dst not in self.addresses:
+            raise UnknownNodeError(f"wired destination {dst!r} not in the "
+                                   f"cluster address map")
+        if src not in self._nodes:
+            raise UnknownNodeError(f"wired source {src!r} not attached")
+        message.src = src
+        message.dst = dst
+        self.monitor.on_send(self.name, message)
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.engine.now, "send", src,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                dst=dst, detail=message.describe())
+        flow = (src, dst)
+        seq = self._next_seq.get(flow, 0) + 1
+        self._next_seq[flow] = seq
+        data = encode_envelope({
+            "t": "msg", "seq": seq, "src": src, "dst": dst,
+            "m": message_to_obj(message),
+        })
+        pending = _PendingFrame(data, message, src, dst,
+                                first_sent=self.engine.now)
+        self._pending[(src, dst, seq)] = pending
+        self._sendto(data, dst)
+        self._arm((src, dst, seq), pending)
+
+    def _rto_for(self, dst: NodeId) -> RtoEstimator:
+        estimator = self._rto.get(dst)
+        if estimator is None:
+            estimator = RtoEstimator(initial=self.policy.timeout)
+            self._rto[dst] = estimator
+        return estimator
+
+    def _arm(self, key: Tuple[NodeId, NodeId, int],
+             pending: _PendingFrame) -> None:
+        delay = self.policy.jittered(self._rto_for(pending.dst).rto,
+                                     self.rng.random())
+        pending.timer = self.engine.schedule(delay, self._expire, key,
+                                             label="live:wired-retx")
+
+    def _expire(self, key: Tuple[NodeId, NodeId, int]) -> None:
+        pending = self._pending.get(key)
+        if pending is None:
+            return
+        if pending.attempts >= min(self.policy.max_retries,
+                                   DEFAULT_MAX_ATTEMPTS):
+            del self._pending[key]
+            self._give_up(pending)
+            return
+        pending.attempts += 1
+        pending.retransmitted = True
+        self.retransmissions += 1
+        if self.recorder.wants("wired_retx"):
+            self.recorder.record(
+                self.engine.now, "wired_retx", pending.src,
+                net=self.name, msg=pending.message.kind,
+                msg_id=pending.message.msg_id, dst=pending.dst)
+        self._rto_for(pending.dst).on_timeout()
+        self._sendto(pending.data, pending.dst)
+        self._arm(key, pending)
+
+    def _give_up(self, pending: _PendingFrame) -> None:
+        message = pending.message
+        self.delivery_failures += 1
+        self.monitor.on_drop(self.name, message, "delivery_failed")
+        if self.recorder.wants("delivery_failed"):
+            self.recorder.record(
+                self.engine.now, "delivery_failed", pending.src,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                dst=pending.dst, attempts=pending.attempts)
+        node = self._nodes.get(pending.src)
+        notify = getattr(node, "on_delivery_failure", None)
+        if notify is not None:
+            notify(message)
+
+    def _sendto(self, data: bytes, dst: NodeId) -> None:
+        try:
+            self.sock.sendto(data, self.addresses[dst])
+        except OSError:
+            # A full socket buffer behaves like wire loss: the
+            # retransmission timer recovers it.
+            self.send_errors += 1
+
+    # -- receive path ------------------------------------------------------
+
+    def on_datagram(self, obj: Dict[str, Any]) -> None:
+        """One parsed wired envelope (``msg`` or ``ack``)."""
+        if obj.get("t") == "ack":
+            self._on_ack(obj)
+        else:
+            self._on_msg(obj)
+
+    def _on_ack(self, obj: Dict[str, Any]) -> None:
+        # The ack travels dst -> src of the data frame, so the pending
+        # key is (ack.dst, ack.src, seq).
+        key = (NodeId(obj["dst"]), NodeId(obj["src"]), obj["seq"])
+        pending = self._pending.pop(key, None)
+        if pending is None:
+            return
+        if pending.timer is not None:
+            pending.timer.cancel()
+        if not pending.retransmitted:
+            rtt = max(0.0, self.engine.now - pending.first_sent)
+            self._rto_for(pending.dst).sample(rtt)
+
+    def _on_msg(self, obj: Dict[str, Any]) -> None:
+        try:
+            src = NodeId(obj["src"])
+            dst = NodeId(obj["dst"])
+            seq = int(obj["seq"])
+            message = message_from_obj(obj["m"])
+        except (KeyError, TypeError, ValueError, CodecError):
+            return
+        if dst in self._down:
+            self._record_drop(src, dst, message, "down")
+            return  # unacked: the peer keeps retrying until we come up
+        verdict = self.shaper.verdict(src, dst, self.engine.now)
+        if not verdict.deliver:
+            self._record_drop(src, dst, message, verdict.reason)
+            return  # unacked: the sender's timer produces the real retry
+        self._send_ack(src, dst, seq)
+        seen = self._seen.setdefault((src, dst), set())
+        if seq in seen:
+            self.duplicates_absorbed += 1
+            return  # transport dedup; the re-ack above already went out
+        seen.add(seq)
+        if verdict.duplicate:
+            # Receiver-side dup injection: the copy is absorbed by our
+            # own dedup immediately, matching the sim's observable
+            # behaviour (one delivery plus a wired_dup record).
+            self.monitor.on_send(self.name, message)
+            if self.recorder.wants("wired_dup"):
+                self.recorder.record(
+                    self.engine.now, "wired_dup", src,
+                    net=self.name, msg=message.kind, msg_id=message.msg_id,
+                    dst=dst)
+        if verdict.extra_delay > 0:
+            self.engine.schedule(verdict.extra_delay, self._deliver,
+                                 dst, message, label="live:wired-delay")
+        else:
+            self._deliver(dst, message)
+
+    def _record_drop(self, src: NodeId, dst: NodeId, message: Message,
+                     reason: str) -> None:
+        self.monitor.on_drop(self.name, message, reason)
+        if self.recorder.wants("wired_drop"):
+            self.recorder.record(
+                self.engine.now, "wired_drop", dst,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                src=src, reason=reason)
+
+    def _send_ack(self, src: NodeId, dst: NodeId, seq: int) -> None:
+        data = encode_envelope({"t": "ack", "seq": seq,
+                                "src": dst, "dst": src})
+        try:
+            self.sock.sendto(data, self.addresses[src])
+        except (OSError, KeyError):
+            self.send_errors += 1
+
+    def _deliver(self, dst: NodeId, message: Message) -> None:
+        node = self._nodes.get(dst)
+        if node is None:
+            return  # addressed to a node this process does not host
+        self.monitor.on_deliver(self.name, message)
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.engine.now, "recv", dst,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                src=message.src, detail=message.describe())
+        node.on_wired_message(message)
+
+
+class _StationStub:
+    """What the driver-side channel knows of a remote station."""
+
+    __slots__ = ("node_id", "cell_id")
+
+    def __init__(self, node_id: NodeId, cell_id: CellId) -> None:
+        self.node_id = node_id
+        self.cell_id = cell_id
+
+
+class LiveWirelessStationSide:
+    """The radio as seen from an MSS process: downlink out, uplink in."""
+
+    name = "wireless"
+
+    def __init__(
+        self,
+        engine: AsyncioEngine,
+        sock: Any,
+        driver_addr: Address,
+        recorder: Optional[TraceRecorder] = None,
+        monitor: Optional[NetworkMonitor] = None,
+    ) -> None:
+        self.engine = engine
+        self.sock = sock
+        self.driver_addr = driver_addr
+        self.recorder = (recorder if recorder is not None
+                         else TraceRecorder(enabled=False))
+        self.monitor = monitor if monitor is not None else NetworkMonitor()
+        self._stations: Dict[CellId, WirelessStation] = {}
+        self.send_errors = 0
+
+    def register_station(self, station: WirelessStation) -> None:
+        self._stations[station.cell_id] = station
+
+    def host(self, host_id: NodeId) -> WirelessHost:
+        """Radio-level host state lives in the driver process.
+
+        The MSS call sites (``_host_in_cell``/``_host_unreachable``)
+        treat this surface as best-effort knowledge and degrade when it
+        raises, so the live station simply has none.
+        """
+        raise UnknownNodeError(
+            f"live station has no radio-level view of {host_id!r}")
+
+    def downlink(self, station: WirelessStation, host_id: NodeId,
+                 message: Message) -> None:
+        """One fire-and-forget transmission attempt toward the driver."""
+        message.src = station.node_id
+        message.dst = host_id
+        self.monitor.on_send(self.name, message)
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.engine.now, "send", station.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                dst=host_id, detail=message.describe())
+        data = encode_envelope({"t": "wmsg", "dir": "down",
+                                "cell": station.cell_id,
+                                "m": message_to_obj(message)})
+        try:
+            self.sock.sendto(data, self.driver_addr)
+        except OSError:
+            self.send_errors += 1
+
+    def on_datagram(self, obj: Dict[str, Any]) -> None:
+        """One uplink frame arriving from the driver."""
+        try:
+            message = message_from_obj(obj["m"])
+            cell = CellId(obj["cell"])
+        except (KeyError, TypeError, CodecError):
+            return
+        station = self._stations.get(cell)
+        if station is None:
+            return
+        self.monitor.on_deliver(self.name, message)
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.engine.now, "recv", station.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                src=message.src, detail=message.describe())
+        station.on_wireless_message(message)
+
+
+class LiveWirelessHostSide:
+    """The radio as seen from the driver process hosting the MHs."""
+
+    name = "wireless"
+
+    def __init__(
+        self,
+        engine: AsyncioEngine,
+        sock: Any,
+        stations: Dict[CellId, Tuple[NodeId, Address]],
+        shaper: Optional[WirelessShaper] = None,
+        recorder: Optional[TraceRecorder] = None,
+        monitor: Optional[NetworkMonitor] = None,
+    ) -> None:
+        self.engine = engine
+        self.sock = sock
+        self.shaper = shaper if shaper is not None else WirelessShaper(None)
+        self.recorder = (recorder if recorder is not None
+                         else TraceRecorder(enabled=False))
+        self.monitor = monitor if monitor is not None else NetworkMonitor()
+        self._stations: Dict[CellId, _StationStub] = {}
+        self._station_addrs: Dict[CellId, Address] = {}
+        for cell, (node_id, addr) in stations.items():
+            self._stations[cell] = _StationStub(node_id, cell)
+            self._station_addrs[cell] = addr
+        self._hosts: Dict[NodeId, WirelessHost] = {}
+        self.send_errors = 0
+
+    def register_host(self, host: WirelessHost) -> None:
+        self._hosts[host.node_id] = host
+
+    def host(self, host_id: NodeId) -> WirelessHost:
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise UnknownNodeError(
+                f"unknown mobile host {host_id!r}") from None
+
+    def station_of(self, cell: CellId) -> _StationStub:
+        try:
+            return self._stations[cell]
+        except KeyError:
+            raise UnknownNodeError(
+                f"no station registered for cell {cell!r}") from None
+
+    def note_handoff(self, host_id: NodeId) -> None:
+        self.shaper.note_handoff(host_id, self.engine.now)
+
+    def uplink(self, host: WirelessHost, message: Message) -> None:
+        if host.state is not MhState.ACTIVE \
+                and host.state is not MhState.MIGRATING:
+            raise NetworkError(
+                f"{host.node_id} cannot transmit while {host.state}")
+        if host.current_cell is None:
+            raise NetworkError(f"{host.node_id} is not in any cell")
+        cell = host.current_cell
+        station = self.station_of(cell)
+        message.src = host.node_id
+        message.dst = station.node_id
+        self.monitor.on_send(self.name, message)
+        if self.recorder.wants("send"):
+            self.recorder.record(
+                self.engine.now, "send", host.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                dst=station.node_id, detail=message.describe())
+        verdict = self.shaper.verdict(cell, host.node_id, self.engine.now)
+        if verdict is not None:
+            self._drop(message, verdict,
+                       kind="drop" if verdict == "loss" else "wireless_drop")
+            return
+        data = encode_envelope({"t": "wmsg", "dir": "up", "cell": cell,
+                                "m": message_to_obj(message)})
+        delay = self.shaper.extra_delay()
+        if delay > 0:
+            self.engine.schedule(delay, self._sendto, data, cell,
+                                 label="live:wl-congestion")
+        else:
+            self._sendto(data, cell)
+
+    def _sendto(self, data: bytes, cell: CellId) -> None:
+        try:
+            self.sock.sendto(data, self._station_addrs[cell])
+        except OSError:
+            self.send_errors += 1
+
+    def on_datagram(self, obj: Dict[str, Any]) -> None:
+        """One downlink frame arriving from a station process.
+
+        The delivery-time checks mirror the sim channel's
+        ``_deliver_downlink``: the frame dies unless the target host is
+        still active and still in the sending station's cell, then the
+        fault verdicts get their say.
+        """
+        try:
+            message = message_from_obj(obj["m"])
+            cell = CellId(obj["cell"])
+        except (KeyError, TypeError, CodecError):
+            return
+        host = self._hosts.get(message.dst)
+        if host is None:
+            self._drop(message, "unknown_host")
+            return
+        if host.state is not MhState.ACTIVE:
+            self._drop(message, "inactive")
+            return
+        if host.current_cell != cell:
+            self._drop(message, "not_in_cell")
+            return
+        verdict = self.shaper.verdict(cell, host.node_id, self.engine.now)
+        if verdict is not None:
+            self._drop(message, verdict,
+                       kind="drop" if verdict == "loss" else "wireless_drop")
+            return
+        delay = self.shaper.extra_delay()
+        if delay > 0:
+            self.engine.schedule(delay, self._deliver_downlink, host, message,
+                                 label="live:wl-congestion")
+        else:
+            self._deliver_downlink(host, message)
+
+    def _deliver_downlink(self, host: WirelessHost, message: Message) -> None:
+        self.monitor.on_deliver(self.name, message)
+        if self.recorder.wants("recv"):
+            self.recorder.record(
+                self.engine.now, "recv", host.node_id,
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                src=message.src, detail=message.describe())
+        host.on_wireless_message(message)
+
+    def _drop(self, message: Message, reason: str,
+              kind: str = "drop") -> None:
+        self.monitor.on_drop(self.name, message, reason)
+        if self.recorder.wants(kind):
+            self.recorder.record(
+                self.engine.now, kind, message.dst or "?",
+                net=self.name, msg=message.kind, msg_id=message.msg_id,
+                reason=reason)

@@ -25,7 +25,7 @@ from ..net.directory import DirectoryService
 from ..net.latency import ConstantLatency, LatencyModel
 from ..net.message import Message
 from ..net.wired import WiredNetwork
-from ..sim import Simulator
+from ..engine import Engine
 from ..types import server_id
 
 
@@ -34,7 +34,7 @@ class AppServer:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         name: str,
         wired: WiredNetwork,
         directory: DirectoryService,

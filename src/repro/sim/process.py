@@ -4,9 +4,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from ..engine import Engine, ScheduledEvent
 from ..errors import SchedulingError
-from .event import Event
-from .simulator import Simulator
 
 
 class Timer:
@@ -16,11 +15,11 @@ class Timer:
     pending expiry (if any) and arms a new one.
     """
 
-    def __init__(self, sim: Simulator, callback: Callable[[], Any], label: str = "") -> None:
+    def __init__(self, sim: Engine, callback: Callable[[], Any], label: str = "") -> None:
         self._sim = sim
         self._callback = callback
         self._label = label
-        self._event: Optional[Event] = None
+        self._event: Optional[ScheduledEvent] = None
 
     @property
     def armed(self) -> bool:
@@ -52,7 +51,7 @@ class PeriodicProcess:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         action: Callable[[], Any],
         period: Callable[[], float],
         label: str = "",
@@ -61,7 +60,7 @@ class PeriodicProcess:
         self._action = action
         self._period = period
         self._label = label
-        self._event: Optional[Event] = None
+        self._event: Optional[ScheduledEvent] = None
         self._running = False
 
     @property

@@ -19,8 +19,8 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from ..engine import Engine
 from ..net.message import Message
-from ..sim import Simulator
 
 PRIORITY_ACK = 0
 PRIORITY_NORMAL = 1
@@ -43,7 +43,7 @@ class Inbox:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         handler: Callable[[Message], None],
         proc_delay: float = 0.0,
         ack_priority: bool = True,

@@ -56,7 +56,7 @@ from ..net.directory import DirectoryService
 from ..net.message import Message
 from ..net.wired import WiredNetwork
 from ..net.wireless import WirelessChannel
-from ..sim import Simulator
+from ..engine import Engine
 from ..types import CellId, NodeId, ProxyId, ProxyRef, RequestId, mss_id
 from .inbox import Inbox
 from .pref import PrefTable
@@ -148,7 +148,7 @@ class MobileSupportStation:
 
     def __init__(
         self,
-        sim: Simulator,
+        sim: Engine,
         name: str,
         cell_id: CellId,
         wired: WiredNetwork,

@@ -1,0 +1,174 @@
+"""Shaping-channel parity: the live backend's fault plans are the sim's.
+
+Two contracts pinned here:
+
+* **Plan parity** — :func:`repro.live.channel.build_wired_plan` /
+  ``build_wireless_plan`` derive fault plans from a root seed exactly the
+  way :class:`repro.world.World` does (the ``faults.wired`` /
+  ``faults.wireless`` RngStreams substreams), so a live cluster and its
+  sim twin consult identical fault schedules.
+* **Draw-order parity** — :class:`repro.live.channel.InboundShaper`
+  consumes the plan's RNG in the same per-frame order as
+  :meth:`repro.net.wired.WiredNetwork._transmit` (cut, loss, dup, dup's
+  extra delay, main extra delay), and the wireless verdict mirrors the
+  sim channel's gate order.  Verified by running both consumption
+  patterns over twin plans and checking the verdicts *and* the
+  post-sequence RNG state agree.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.config import (  # noqa: E402
+    WiredFaultSpec,
+    WirelessFaultSpec,
+    WorldConfig,
+)
+from repro.live.channel import (  # noqa: E402
+    InboundShaper,
+    WirelessShaper,
+    build_wired_plan,
+    build_wireless_plan,
+)
+from repro.sim.rng import RngStreams  # noqa: E402
+from repro.types import CellId, NodeId  # noqa: E402
+from repro.world import World  # noqa: E402
+
+SEED = 20260808
+
+WIRED_SPEC = WiredFaultSpec(loss=0.2, duplication=0.1,
+                            spike_probability=0.15, spike=0.05,
+                            reorder=0.1, reorder_spread=0.02)
+
+WIRELESS_SPEC = WirelessFaultSpec(loss=0.1, burst_probability=0.05,
+                                  burst_length=0.5, burst_loss=0.9,
+                                  congestion_probability=0.1,
+                                  congestion_delay=0.03,
+                                  handoff_blackout=0.2)
+
+
+def test_inactive_specs_build_no_plan():
+    assert build_wired_plan(SEED, None) is None
+    assert build_wired_plan(SEED, WiredFaultSpec()) is None
+    assert build_wireless_plan(SEED, None) is None
+    assert build_wireless_plan(SEED, WirelessFaultSpec()) is None
+
+
+def test_wired_plan_matches_world_recipe():
+    """Same seed, same spec -> the world's plan and the live plan draw
+    identical sequences (they are seeded from the same substream)."""
+    world = World(WorldConfig(seed=SEED, n_cells=2,
+                              wired_faults=WIRED_SPEC))
+    live_plan = build_wired_plan(SEED, WIRED_SPEC)
+    world_plan = world.wired.faults
+    assert world_plan is not None and live_plan is not None
+    assert live_plan.describe() == world_plan.describe()
+    for _ in range(500):
+        assert live_plan.lost() == world_plan.lost()
+        assert live_plan.duplicated() == world_plan.duplicated()
+        assert live_plan.extra_delay() == world_plan.extra_delay()
+    # Streams still in lockstep after 500 frames' worth of draws.
+    assert live_plan.rng.random() == world_plan.rng.random()
+
+
+def test_wireless_plan_matches_world_recipe():
+    world = World(WorldConfig(seed=SEED, n_cells=2,
+                              wireless_faults=WIRELESS_SPEC))
+    live_plan = build_wireless_plan(SEED, WIRELESS_SPEC)
+    world_plan = world.wireless.faults
+    assert world_plan is not None and live_plan is not None
+    assert live_plan.describe() == world_plan.describe()
+    cell = CellId("cell0")
+    host = NodeId("mh:h0")
+    now = 0.0
+    for step in range(500):
+        now = step * 0.01
+        if step == 100:
+            live_plan.note_handoff(host, now)
+            world_plan.note_handoff(host, now)
+        assert (live_plan.in_handoff_blackout(host, now)
+                == world_plan.in_handoff_blackout(host, now))
+        assert live_plan.lost(cell, now) == world_plan.lost(cell, now)
+        assert live_plan.extra_delay() == world_plan.extra_delay()
+    assert live_plan.rng.random() == world_plan.rng.random()
+
+
+def test_inbound_shaper_consumes_draws_in_sim_transmit_order():
+    """Twin plans, one consumed by the sim's per-frame pattern, one by
+    the shaper: verdicts match frame by frame, and the RNG streams stay
+    in lockstep (proof nothing extra or missing was drawn)."""
+    sim_plan = build_wired_plan(SEED, WIRED_SPEC)
+    live_plan = build_wired_plan(SEED, WIRED_SPEC)
+    shaper = InboundShaper(live_plan)
+    src, dst = NodeId("mss:s0"), NodeId("mss:s1")
+    for frame in range(500):
+        now = frame * 0.01
+        # The sim's _transmit consumption pattern, verbatim:
+        if sim_plan.cut(src, dst, now):
+            sim_outcome = ("cut",)
+        elif sim_plan.lost():
+            sim_outcome = ("lost",)
+        elif sim_plan.duplicated():
+            dup_delay = sim_plan.extra_delay()
+            sim_outcome = ("dup", dup_delay, sim_plan.extra_delay())
+        else:
+            sim_outcome = ("deliver", sim_plan.extra_delay())
+
+        verdict = shaper.verdict(src, dst, now)
+        if sim_outcome[0] == "lost":
+            assert not verdict.deliver and verdict.reason == "loss"
+        elif sim_outcome[0] == "dup":
+            assert verdict.deliver and verdict.duplicate
+            assert verdict.extra_delay == sim_outcome[2]
+        else:
+            assert verdict.deliver and not verdict.duplicate
+            assert verdict.extra_delay == sim_outcome[1]
+    assert sim_plan.rng.random() == live_plan.rng.random()
+
+
+def test_inbound_shaper_partition_short_circuits_without_draws():
+    spec = WiredFaultSpec(loss=0.5, partitions=(
+        ("mss:s0", "mss:s1", 1.0, 2.0),))
+    plan = build_wired_plan(SEED, spec)
+    shaper = InboundShaper(plan)
+    state_before = plan.rng.getstate()
+    verdict = shaper.verdict(NodeId("mss:s0"), NodeId("mss:s1"), 1.5)
+    assert not verdict.deliver and verdict.reason == "partition"
+    assert plan.rng.getstate() == state_before, (
+        "a partition cut must not consume loss/dup draws — the sim's "
+        "short-circuit order is part of the determinism contract")
+
+
+def test_inbound_shaper_without_plan_delivers_everything():
+    shaper = InboundShaper(None)
+    for frame in range(50):
+        verdict = shaper.verdict(NodeId("a"), NodeId("b"), frame * 0.1)
+        assert verdict.deliver and not verdict.duplicate
+        assert verdict.extra_delay == 0.0
+
+
+def test_wireless_shaper_flat_loss_matches_seeded_stream():
+    """The flat (plan-less) loss draw is the sim channel's: one
+    ``rng.random() < p`` per frame from a named substream."""
+    rng_a = RngStreams(SEED).stream("live.wireless")
+    rng_b = RngStreams(SEED).stream("live.wireless")
+    shaper = WirelessShaper(None, loss_probability=0.3, rng=rng_a)
+    cell, host = CellId("cell0"), NodeId("mh:h0")
+    for frame in range(500):
+        expected = "loss" if rng_b.random() < 0.3 else None
+        assert shaper.verdict(cell, host, frame * 0.01) == expected
+
+
+def test_wireless_shaper_handoff_blackout_gates_before_draws():
+    plan = build_wireless_plan(SEED, WIRELESS_SPEC)
+    shaper = WirelessShaper(plan)
+    cell, host = CellId("cell0"), NodeId("mh:h0")
+    shaper.note_handoff(host, 1.0)
+    state_before = plan.rng.getstate()
+    assert shaper.verdict(cell, host, 1.1) == "handoff_blackout"
+    assert plan.rng.getstate() == state_before
+    # Outside the window the plan draws again.
+    assert shaper.verdict(cell, host, 1.1 + WIRELESS_SPEC.handoff_blackout) \
+        in (None, "burst", "fault_loss")
